@@ -1,0 +1,58 @@
+"""Extra ablation (motivated by Sec. IV-C): word2vec vs one-hot node
+semantics.
+
+The paper argues that one-hot node encoding "is not conducive to
+feature extraction between similar nodes" and cannot represent complex
+predicate conditions; this bench quantifies that claim by training the
+same RAAL architecture with one-hot operator encodings (OH-LSTM)
+against the word2vec node-semantic encoder, averaging over training
+seeds.
+
+Expected shape: word2vec wins clearly on relative error (it sees
+predicate structure the one-hot scheme discards); on MSE the curated
+workload leaves one-hot surprisingly competitive at this data scale,
+so the assertion allows a tolerance there."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import get_pipeline, publish
+from repro.eval import render_table
+
+SEEDS = [0, 1]
+
+
+def test_ablation_onehot(benchmark):
+    pipeline = get_pipeline("imdb")
+
+    def run():
+        return {
+            name: [pipeline.train_variant(name, seed=seed) for seed in SEEDS]
+            for name in ("OH-LSTM", "RAAL")
+        }
+
+    trained = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def mean(name: str, attr: str) -> float:
+        return float(np.mean([getattr(t.metrics, attr) for t in trained[name]]))
+
+    rows = []
+    for name in ("OH-LSTM", "RAAL"):
+        rows.append([name, mean(name, "re"), mean(name, "mse"),
+                     mean(name, "cor"), mean(name, "r2")])
+    publish("ablation_onehot", render_table(
+        f"Extra ablation — one-hot vs word2vec node semantics "
+        f"(IMDB, mean of {len(SEEDS)} seeds)",
+        ["model", "RE", "MSE", "COR", "R2"], rows))
+
+    # Primary claim: predicate-aware word2vec features give lower
+    # relative error.
+    assert mean("RAAL", "re") <= mean("OH-LSTM", "re"), (
+        f"word2vec RE {mean('RAAL', 're'):.3f} lost to one-hot "
+        f"{mean('OH-LSTM', 're'):.3f}")
+    # Secondary: MSE stays within tolerance of one-hot (at this scale
+    # one-hot's compact features are competitive on squared error).
+    assert mean("RAAL", "mse") <= mean("OH-LSTM", "mse") * 1.25, (
+        f"word2vec MSE {mean('RAAL', 'mse'):.3f} far behind one-hot "
+        f"{mean('OH-LSTM', 'mse'):.3f}")

@@ -1,0 +1,88 @@
+"""Extension experiment: periodic model updates under cluster drift.
+
+The paper argues (Sec. I) that "learnable cost models can easily be
+updated regularly and adapted to different clusters", but does not
+measure it. This bench does: a RAAL model is trained on one cluster,
+the cluster's I/O characteristics then drift (disk and network slow
+down, as on a degraded or busier cloud tenancy), and the stale model is
+compared against the same model after a short fine-tuning pass on a
+handful of records collected post-drift.
+
+Expected shape: drift degrades the stale model's accuracy; a brief
+update pass recovers most of it — supporting the paper's claim."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.cluster import ResourceSampler
+from repro.core import Trainer, TrainerConfig, variant
+from repro.eval import compute_metrics, render_table
+from repro.eval.experiments import ExperimentPipeline, ExperimentScale
+from repro.workload import DataCollector
+
+SCALE = ExperimentScale(num_queries=90, epochs=40)
+FINE_TUNE_RECORDS = 200
+FINE_TUNE_EPOCHS = 10
+
+
+def _drifted_sampler(base_sampler: ResourceSampler) -> ResourceSampler:
+    """The cluster after drift: I/O throughput drops to 40%."""
+    drifted_base = type(base_sampler.base)(
+        nodes=base_sampler.base.nodes,
+        cores_per_node=base_sampler.base.cores_per_node,
+        executors=base_sampler.base.executors,
+        executor_cores=base_sampler.base.executor_cores,
+        executor_memory_gb=base_sampler.base.executor_memory_gb,
+        network_throughput_mbps=base_sampler.base.network_throughput_mbps * 0.4,
+        disk_throughput_mbps=base_sampler.base.disk_throughput_mbps * 0.4,
+    )
+    return ResourceSampler(base=drifted_base)
+
+
+def test_extension_model_update(benchmark):
+    def run():
+        pipeline = ExperimentPipeline(dataset="imdb", scale=SCALE)
+        trained = pipeline.train_variant("RAAL")
+        spec = variant("RAAL")
+        encoder = pipeline.encoder_for(spec)
+
+        # The cluster drifts: recollect costs for the same test queries.
+        pipeline.collector.sampler = _drifted_sampler(ResourceSampler())
+        test_sqls = sorted({r.sql for r in pipeline.split.test})
+        drifted_test = pipeline.collector.collect(test_sqls)
+        train_sqls = sorted({r.sql for r in pipeline.split.train})
+        drifted_train = pipeline.collector.collect(
+            train_sqls[: FINE_TUNE_RECORDS // 3])
+
+        actual = np.array([r.cost_seconds for r in drifted_test])
+        test_samples = DataCollector.to_samples(drifted_test, encoder)
+
+        before = trained.metrics  # pre-drift test accuracy (reference)
+        stale = compute_metrics(actual, trained.trainer.predict_seconds(
+            [s.encoded for s in test_samples]))
+
+        tune_samples = DataCollector.to_samples(drifted_train, encoder)
+        tuner = Trainer(trained.trainer.model, TrainerConfig(
+            epochs=FINE_TUNE_EPOCHS, learning_rate=5e-4, seed=0))
+        tuner.fit(tune_samples)
+        updated = compute_metrics(actual, tuner.predict_seconds(
+            [s.encoded for s in test_samples]))
+        return before, stale, updated, len(tune_samples)
+
+    before, stale, updated, n_tune = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    publish("extension_model_update", render_table(
+        f"Extension — cluster drift and model update ({n_tune} update records)",
+        ["setting", "RE", "MSE", "COR", "R2"],
+        [["pre-drift (reference)", before.re, before.mse, before.cor, before.r2],
+         ["post-drift, stale model", stale.re, stale.mse, stale.cor, stale.r2],
+         ["post-drift, updated model", updated.re, updated.mse, updated.cor, updated.r2]]))
+
+    # Shape 1: drift hurts the stale model.
+    assert stale.mse > before.mse, "drift did not degrade the stale model"
+    # Shape 2: the update recovers a substantial share of the loss.
+    assert updated.mse < stale.mse, "fine-tuning did not improve the stale model"
+    recovered = (stale.mse - updated.mse) / max(stale.mse - before.mse, 1e-9)
+    assert recovered >= 0.3, f"update recovered only {recovered:.0%} of drift loss"

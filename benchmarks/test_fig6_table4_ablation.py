@@ -1,0 +1,83 @@
+"""Table IV + Figure 6: ablation of RAAL's modules.
+
+Trains RAAL and its three ablations (NE-LSTM: no structure embedding;
+NA-LSTM: no node-aware attention; RAAC: CNN instead of LSTM) on the
+same IMDB records and reports the Table IV metrics plus the Fig. 6
+training-loss curves. Metrics are averaged over several training seeds
+— the architectural deltas are small (as in the paper, whose Fig. 6
+curves nearly overlap except for NA-LSTM's instability), so a single
+run would be noise-dominated.
+
+Expected shape (paper Sec. V-B1): RAAL is at or near the best on the
+averaged metrics; NA-LSTM's loss curve is the least stable."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import get_pipeline, publish
+from repro.eval import render_series, render_table
+
+VARIANT_NAMES = ["RAAL", "NE-LSTM", "NA-LSTM", "RAAC"]
+SEEDS = [0, 1]
+
+
+def test_fig6_table4_ablation(benchmark):
+    pipeline = get_pipeline("imdb")
+
+    def run():
+        out = {}
+        for name in VARIANT_NAMES:
+            out[name] = [pipeline.train_variant(name, seed=seed)
+                         for seed in SEEDS]
+        return out
+
+    trained = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def mean_metric(name: str, attr: str) -> float:
+        return float(np.mean([getattr(t.metrics, attr) for t in trained[name]]))
+
+    # Table IV — seed-averaged metrics per variant.
+    rows = []
+    for name in VARIANT_NAMES:
+        rows.append([name, mean_metric(name, "re"), mean_metric(name, "mse"),
+                     mean_metric(name, "cor"), mean_metric(name, "r2")])
+    table = render_table(
+        f"Table IV — ablation metrics on IMDB (test split, mean of {len(SEEDS)} seeds)",
+        ["model", "RE", "MSE", "COR", "R2"], rows)
+
+    # Fig. 6 — loss curves from the first seed, aligned to shortest.
+    min_len = min(len(t[0].train_losses) for t in trained.values())
+    series = {name: trained[name][0].train_losses[:min_len]
+              for name in VARIANT_NAMES}
+    fig = render_series("Fig. 6 — training loss vs iteration (epoch, seed 0)",
+                        "epoch", list(range(min_len)), series)
+    publish("fig6_table4_ablation", table + "\n\n" + fig)
+
+    # Shape 1: RAAL's averaged MSE is within 15% of the best variant —
+    # the full model never collapses relative to its ablations.
+    mses = {name: mean_metric(name, "mse") for name in VARIANT_NAMES}
+    assert mses["RAAL"] <= min(mses.values()) * 1.15, (
+        f"RAAL's MSE is not competitive with its ablations: {mses}")
+
+    # Shape 2: RAAL beats the ablation *average* on at least two of the
+    # four metrics.
+    def ablation_mean(attr: str) -> float:
+        return float(np.mean([mean_metric(n, attr) for n in VARIANT_NAMES[1:]]))
+
+    wins = sum([
+        mean_metric("RAAL", "re") <= ablation_mean("re"),
+        mean_metric("RAAL", "mse") <= ablation_mean("mse"),
+        mean_metric("RAAL", "cor") >= ablation_mean("cor"),
+        mean_metric("RAAL", "r2") >= ablation_mean("r2"),
+    ])
+    assert wins >= 2, f"RAAL beat the ablation average on only {wins}/4 metrics"
+
+    # Shape 3: NA-LSTM's loss curve is at least as unstable as RAAL's
+    # (paper: "the loss of NA-LSTM fluctuates dramatically").
+    def roughness(losses):
+        tail = np.array(losses[len(losses) // 3:])
+        return float(np.abs(np.diff(tail)).mean()) if len(tail) > 2 else 0.0
+
+    assert roughness(series["NA-LSTM"]) >= roughness(series["RAAL"]) * 0.7, \
+        "expected NA-LSTM's loss to be at least as unstable as RAAL's"

@@ -1,0 +1,54 @@
+"""Figure 7: actual vs. estimated cost, with/without resource awareness.
+
+Renders the scatter of Fig. 7 as per-bin summaries: test points grouped
+by actual cost, with the mean estimate and relative-error spread per
+bin, for RAAL without vs. with the resource-aware attention layer, on
+IMDB and TPC-H.
+
+Expected shape (paper Fig. 7): the resource-blind model's points are
+"significantly more divergent" — larger error spread — than the
+resource-aware model's."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import get_trained, publish
+from repro.eval import render_scatter_summary
+
+DATASETS = ["imdb", "tpch"]
+
+
+def _spread(actual: np.ndarray, estimated: np.ndarray) -> float:
+    rel = np.abs(estimated - actual) / np.maximum(actual, 1e-9)
+    return float(rel.mean())
+
+
+def test_fig7_scatter(benchmark):
+    def run():
+        out = {}
+        for dataset in DATASETS:
+            out[(dataset, False)] = get_trained(dataset, "RAAL", False)
+            out[(dataset, True)] = get_trained(dataset, "RAAL", True)
+        return out
+
+    trained = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for dataset in DATASETS:
+        for aware in (False, True):
+            tv = trained[(dataset, aware)]
+            label = "with" if aware else "without"
+            blocks.append(render_scatter_summary(
+                f"Fig. 7 ({dataset.upper()}, {label} resource-aware attention)",
+                tv.actual, tv.estimated))
+    publish("fig7_scatter", "\n\n".join(blocks))
+
+    # Shape: the resource-aware model's scatter is tighter on both
+    # datasets (smaller mean relative divergence).
+    for dataset in DATASETS:
+        blind = trained[(dataset, False)]
+        aware = trained[(dataset, True)]
+        assert _spread(aware.actual, aware.estimated) <= \
+            _spread(blind.actual, blind.estimated) * 1.05, (
+                f"{dataset}: resource-aware scatter is not tighter")

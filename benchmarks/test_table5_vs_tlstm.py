@@ -1,0 +1,43 @@
+"""Table V: RAAL vs. the relational-database cost model TLSTM.
+
+Reproduces the paper's fixed-resource comparison: Spark SQL installed
+locally with the resources fixed for every query ("similar to the
+application scenario of a relational database"), RAAL receiving the
+constant resource vector, TLSTM its tree-structured features.
+
+Expected shape (paper Table V): RAAL has lower MSE and RE and higher
+COR and R² than TLSTM."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import get_fixed_pipeline, publish
+from repro.eval import render_table
+
+
+def test_table5_vs_tlstm(benchmark):
+    pipeline = get_fixed_pipeline("imdb")
+
+    def run():
+        raal = pipeline.train_variant("RAAL")
+        _, tlstm_metrics, _, _ = pipeline.train_tlstm(epochs=10)
+        return raal.metrics, tlstm_metrics
+
+    raal_metrics, tlstm_metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["TLSTM", tlstm_metrics.re, tlstm_metrics.mse, tlstm_metrics.cor, tlstm_metrics.r2],
+        ["RAAL", raal_metrics.re, raal_metrics.mse, raal_metrics.cor, raal_metrics.r2],
+    ]
+    publish("table5_vs_tlstm", render_table(
+        "Table V — RAAL vs TLSTM (IMDB, fixed resources)",
+        ["model", "RE", "MSE", "COR", "R2"], rows))
+
+    wins = sum([
+        raal_metrics.re <= tlstm_metrics.re,
+        raal_metrics.mse <= tlstm_metrics.mse,
+        raal_metrics.cor >= tlstm_metrics.cor,
+        raal_metrics.r2 >= tlstm_metrics.r2,
+    ])
+    assert wins >= 3, (
+        f"RAAL should beat TLSTM on at least 3 of 4 metrics, won {wins}: "
+        f"RAAL={raal_metrics} TLSTM={tlstm_metrics}")

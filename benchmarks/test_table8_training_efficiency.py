@@ -1,0 +1,54 @@
+"""Table VIII: training time and test error vs. training-set size.
+
+Trains RAAL on growing subsets of the IMDB training records and reports
+wall-clock training time and test RE per size.
+
+Expected shape (paper Table VIII): training time grows roughly linearly
+with data size; test error decreases as the training set grows; even
+the smallest training set gives a usable model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import get_pipeline, publish
+from repro.core import variant
+from repro.eval import render_table
+
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+
+
+def test_table8_training_efficiency(benchmark):
+    pipeline = get_pipeline("imdb")
+    spec = variant("RAAL")
+    all_samples = pipeline.samples_for(spec, "train")
+    rng = np.random.default_rng(3)
+    order = rng.permutation(len(all_samples))
+
+    def run():
+        rows = []
+        for fraction in FRACTIONS:
+            k = max(8, int(len(all_samples) * fraction))
+            subset = [all_samples[i] for i in order[:k]]
+            tv = pipeline.train_variant("RAAL", train_samples=subset)
+            rows.append((k, tv.train_seconds, tv.metrics.re, tv.metrics.mse))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    publish("table8_training_efficiency", render_table(
+        "Table VIII — training time and test error vs training-set size (IMDB)",
+        ["training records", "train time (s)", "test RE", "test MSE"],
+        [[k, f"{t:.1f}", re, mse] for k, t, re, mse in rows]))
+
+    sizes = [k for k, *_ in rows]
+    times = [t for _, t, *_ in rows]
+    errors = [re for *_, re, _ in rows]
+    assert sizes == sorted(sizes)
+    # Shape 1: more data costs more training time.
+    assert times[-1] > times[0], f"training time did not grow: {times}"
+    # Shape 2: more data helps — the largest run beats the smallest.
+    assert errors[-1] <= errors[0] * 1.05, (
+        f"test RE did not improve with data: {errors}")
+    # Shape 3: even the smallest model is usable (RE bounded).
+    assert max(errors) < 2.0, f"smallest training set unusable: {errors}"

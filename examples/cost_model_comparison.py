@@ -1,0 +1,62 @@
+"""Head-to-head comparison: RAAL vs TLSTM vs GPSJ (Tables V & VI).
+
+Trains all three cost models on the same fixed-resource IMDB workload
+(the paper's "local Spark" setting) and compares them on the four paper
+metrics, then shows what each model predicts for a few test plans.
+
+Run with:  python examples/cost_model_comparison.py
+"""
+
+import numpy as np
+
+from repro.baselines import GPSJCostModel
+from repro.cluster import PAPER_CLUSTER
+from repro.core import variant
+from repro.eval import render_table
+from repro.eval.experiments import ExperimentPipeline, ExperimentScale
+
+SCALE = ExperimentScale(num_queries=60, resource_states_per_plan=1, epochs=30)
+
+
+def main() -> None:
+    print("building fixed-resource pipeline ...")
+    pipeline = ExperimentPipeline(dataset="imdb", scale=SCALE,
+                                  fixed_resources=PAPER_CLUSTER)
+
+    print("training RAAL ...")
+    raal = pipeline.train_variant("RAAL")
+    print("training TLSTM (tree-by-tree, slower) ...")
+    tlstm_trainer, tlstm_metrics, _, tlstm_est = pipeline.train_tlstm(epochs=8)
+    print("calibrating GPSJ ...")
+    gpsj_metrics, _, gpsj_est = pipeline.evaluate_gpsj()
+
+    rows = [
+        ["GPSJ", gpsj_metrics.re, gpsj_metrics.mse, gpsj_metrics.cor, gpsj_metrics.r2],
+        ["TLSTM", tlstm_metrics.re, tlstm_metrics.mse, tlstm_metrics.cor, tlstm_metrics.r2],
+        ["RAAL", raal.metrics.re, raal.metrics.mse, raal.metrics.cor, raal.metrics.r2],
+    ]
+    print()
+    print(render_table("Cost model comparison (IMDB, fixed resources)",
+                       ["model", "RE", "MSE", "COR", "R2"], rows))
+
+    # Per-plan view for a handful of test records.
+    test = pipeline.split.test[:6]
+    encoder = pipeline.encoder_for(variant("RAAL"))
+    raal_est = raal.trainer.predict_seconds(
+        [encoder.encode(r.plan, r.resources) for r in test])
+    tl_est = tlstm_trainer.predict_seconds(test, encoder)
+    gpsj_model = GPSJCostModel(pipeline.catalog).calibrate(pipeline.split.train)
+    g_est = [gpsj_model.estimate(r.plan, r.resources) for r in test]
+
+    detail = []
+    for i, record in enumerate(test):
+        detail.append([
+            record.plan.label, f"{record.cost_seconds:.2f}",
+            f"{raal_est[i]:.2f}", f"{tl_est[i]:.2f}", f"{g_est[i]:.2f}"])
+    print()
+    print(render_table("Per-plan estimates on unseen test plans (seconds)",
+                       ["plan", "actual", "RAAL", "TLSTM", "GPSJ"], detail))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Resource recommendation with the trained cost model.
+
+Uses the RAAL predictor in reverse: given a query, find (a) the
+cheapest cloud allocation meeting a latency SLA and (b) the fastest
+allocation within an hourly budget — the resource-matching use case the
+paper's related work targets, obtained for free from a resource-aware
+model.
+
+Run with:  python examples/resource_advisor.py
+"""
+
+from repro.cluster import PAPER_CLUSTER
+from repro.core import AllocationPrice, CostPredictor, ResourceAdvisor
+from repro.eval import render_table
+from repro.eval.experiments import ExperimentPipeline, ExperimentScale
+
+SCALE = ExperimentScale(num_queries=80, epochs=30)
+
+
+def main() -> None:
+    print("training the cost model ...")
+    pipeline = ExperimentPipeline(dataset="imdb", scale=SCALE)
+    trained = pipeline.train_variant("RAAL")
+    print(f"model quality: {trained.metrics}")
+
+    advisor = ResourceAdvisor(
+        CostPredictor(trained.encoder, trained.trainer),
+        price=AllocationPrice(per_core_hour=0.05, per_gb_hour=0.01))
+
+    test_sqls = sorted({r.sql for r in pipeline.split.test})[:5]
+    rows = []
+    for i, sql in enumerate(test_sqls):
+        plans = pipeline.collector.plans_for(sql)
+        sla = advisor.predictor.predict(plans[0], PAPER_CLUSTER)
+        rec = advisor.cheapest_meeting_sla(plans, sla_seconds=sla * 1.2)
+        if rec is None:
+            rows.append([f"Q{i + 1}", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            f"Q{i + 1}",
+            f"{sla * 1.2:.1f}s",
+            str(rec.profile),
+            f"{rec.predicted_seconds:.1f}s",
+            f"${rec.hourly_price:.3f}/h",
+        ])
+
+    print()
+    print(render_table(
+        "Cheapest allocation meeting a 1.2x-of-default SLA, per query",
+        ["query", "SLA", "recommended allocation", "predicted", "price"], rows))
+
+    plans = pipeline.collector.plans_for(test_sqls[0])
+    print("\nbudget sweep for Q1 (fastest allocation within budget):")
+    for budget in (0.1, 0.3, 0.8):
+        rec = advisor.fastest_within_budget(plans, max_hourly_price=budget)
+        if rec is None:
+            print(f"  ${budget:.2f}/h: no affordable allocation")
+        else:
+            print(f"  ${budget:.2f}/h: {rec.profile} -> {rec.predicted_seconds:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

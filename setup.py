@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` uses PEP 660 editable wheels,
+which require ``wheel``; this offline environment lacks it, so the
+legacy ``setup.py develop`` path (triggered via ``--no-use-pep517``)
+is kept working.
+"""
+
+from setuptools import setup
+
+setup()

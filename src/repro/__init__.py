@@ -1,0 +1,19 @@
+"""Reproduction of "A Resource-Aware Deep Cost Model for Big Data Query
+Processing" (Li et al., ICDE 2022).
+
+The package contains the paper's contribution - the RAAL resource-aware
+attentional LSTM cost model (:mod:`repro.core`) - together with every
+substrate it needs: a numpy deep-learning framework (:mod:`repro.nn`),
+a word2vec implementation (:mod:`repro.text`), a Spark SQL-style query
+planner (:mod:`repro.sql`, :mod:`repro.plan`), a cluster execution
+simulator (:mod:`repro.cluster`), feature encoders
+(:mod:`repro.encoding`), the TLSTM/GPSJ baselines
+(:mod:`repro.baselines`), workload/data-collection tooling
+(:mod:`repro.workload`), and evaluation metrics (:mod:`repro.eval`).
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

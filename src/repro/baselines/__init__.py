@@ -1,0 +1,15 @@
+"""Baselines the paper compares against: TLSTM, GPSJ, micro-models."""
+
+from repro.baselines.gpsj import GPSJCostModel, GPSJParameters
+from repro.baselines.micromodel import MicroCostModel, MicroModelConfig
+from repro.baselines.tlstm import TLSTM, TLSTMConfig, TLSTMTrainer
+
+__all__ = [
+    "TLSTM",
+    "TLSTMConfig",
+    "TLSTMTrainer",
+    "GPSJCostModel",
+    "GPSJParameters",
+    "MicroCostModel",
+    "MicroModelConfig",
+]

@@ -1,0 +1,145 @@
+"""GPSJ baseline: the analytic Spark SQL cost model (Baldacci &
+Golfarelli, 2019).
+
+A hand-crafted cost function over Generalized Projection / Selection /
+Join plans, built from cluster and application parameters plus database
+statistics — no learning. Per the original's structure, each operator
+contributes read, CPU, shuffle-write/read, and broadcast terms derived
+from *estimated* cardinalities, and times add up across the pipeline
+divided by the application's parallelism.
+
+Its two systematic weaknesses — over-reliance on statistics (it sees
+the optimizer's cardinality estimates, not true volumes) and rigid
+linear formulas (no spill/broadcast/GC non-linearities) — are exactly
+the failure modes the paper attributes to it in Table VI.
+
+``calibrate`` fits the single global scale constant that the original
+authors tune by hand ("requires significant person-hours of
+engineering"); it does not change the model's shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourceProfile
+from repro.data.catalog import Catalog
+from repro.errors import TrainingError
+from repro.plan.physical import (
+    BroadcastExchange,
+    BroadcastHashJoin,
+    BroadcastNestedLoopJoin,
+    ExchangeHashPartition,
+    ExchangeSinglePartition,
+    FileScan,
+    FilterExec,
+    HashAggregate,
+    PhysicalNode,
+    PhysicalPlan,
+    SortAggregate,
+    SortExec,
+    SortMergeJoin,
+)
+
+__all__ = ["GPSJParameters", "GPSJCostModel"]
+
+
+@dataclass(frozen=True)
+class GPSJParameters:
+    """The hand-set constants of the analytic model."""
+
+    cpu_tuple_cost: float = 1e-7       # seconds per tuple of CPU work
+    scan_weight: float = 1.0           # disk-read weighting
+    shuffle_weight: float = 1.0        # network weighting
+    sort_weight: float = 1.5           # sort CPU multiplier (n log n folded in)
+    join_weight: float = 1.2
+    aggregate_weight: float = 1.0
+    broadcast_weight: float = 1.0
+    stage_overhead: float = 0.2        # scheduling overhead per blocking op
+    data_scale: float = 6000.0         # same row amplification as the cluster
+
+
+class GPSJCostModel:
+    """Analytic cost estimator over physical plans.
+
+    Uses the plan's *estimated* cardinalities (``est_rows`` /
+    ``est_bytes``), never the observed ones — matching how the real
+    GPSJ model consumes database statistics.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 params: GPSJParameters | None = None) -> None:
+        self.catalog = catalog
+        self.params = params or GPSJParameters()
+        self.scale_factor = 1.0
+
+    # -- estimation ----------------------------------------------------------
+    def estimate(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
+        """Estimated execution time (seconds) of ``plan``."""
+        total = 0.0
+        for node in plan.nodes():
+            total += self._node_cost(node, resources)
+        return self.scale_factor * total
+
+    def _node_cost(self, node: PhysicalNode, resources: ResourceProfile) -> float:
+        p = self.params
+        rows = max(node.est_rows, 1.0) * p.data_scale
+        bytes_ = max(node.est_bytes, 8.0) * p.data_scale
+        slots = max(resources.task_slots, 1)
+        disk = resources.disk_throughput_mbps * 1e6
+        net = resources.network_throughput_mbps * 1e6
+        active = max(min(resources.executors, resources.nodes), 1)
+
+        if isinstance(node, FileScan):
+            return p.scan_weight * bytes_ / (disk * active) \
+                + p.cpu_tuple_cost * rows / slots
+        if isinstance(node, FilterExec):
+            child_rows = max(node.child.est_rows, 1.0) * p.data_scale
+            return p.cpu_tuple_cost * child_rows / slots
+        if isinstance(node, (ExchangeHashPartition, ExchangeSinglePartition)):
+            child_bytes = max(node.child.est_bytes, 8.0) * p.data_scale
+            return p.shuffle_weight * child_bytes / (net * active) \
+                + p.stage_overhead
+        if isinstance(node, BroadcastExchange):
+            child_bytes = max(node.child.est_bytes, 8.0) * p.data_scale
+            return p.broadcast_weight * child_bytes * resources.executors / net \
+                + p.stage_overhead
+        if isinstance(node, SortExec):
+            n = max(rows, 2.0)
+            return p.sort_weight * p.cpu_tuple_cost * n * math.log2(n) / slots
+        if isinstance(node, (SortMergeJoin, BroadcastHashJoin)):
+            left = max(node.left.est_rows, 1.0) * p.data_scale
+            right = max(node.right.est_rows, 1.0) * p.data_scale
+            return p.join_weight * p.cpu_tuple_cost * (left + right) / slots
+        if isinstance(node, BroadcastNestedLoopJoin):
+            left = max(node.left.est_rows, 1.0) * p.data_scale
+            right = max(node.right.est_rows, 1.0) * p.data_scale
+            return p.join_weight * p.cpu_tuple_cost * left * right / slots
+        if isinstance(node, (HashAggregate, SortAggregate)):
+            child_rows = max(node.child.est_rows, 1.0) * p.data_scale
+            return p.aggregate_weight * p.cpu_tuple_cost * child_rows / slots
+        return p.cpu_tuple_cost * rows / slots
+
+    # -- calibration -------------------------------------------------------------
+    def calibrate(self, records) -> "GPSJCostModel":
+        """Fit the single global scale constant on training records.
+
+        Stands in for the hand-tuning effort the original requires;
+        the model's functional form is untouched.
+        """
+        if not records:
+            raise TrainingError("cannot calibrate on zero records")
+        self.scale_factor = 1.0
+        log_ratios = []
+        for record in records:
+            raw = self.estimate(record.plan, record.resources)
+            if raw > 0 and record.cost_seconds > 0:
+                log_ratios.append(np.log(record.cost_seconds / raw))
+        if not log_ratios:
+            raise TrainingError("all raw estimates were zero")
+        # The log-space median minimizes the median absolute log error.
+        self.scale_factor = float(np.exp(np.median(log_ratios)))
+        return self

@@ -1,0 +1,127 @@
+"""Micro-model baseline (CLEO / Microlearner style).
+
+The paper's related work covers Microsoft's CLEO and Microlearner,
+which estimate cost with "a large number of individual cost models
+(micro-model)" — one small learned model per operator type — instead of
+one end-to-end network. This module implements that approach as a
+third baseline: per-operator ridge regressions over simple features
+(log rows in/out, log bytes, resource knobs), summed over the plan.
+
+Its characteristic failure mode, per the paper's argument for
+end-to-end models: each micro-model sees its operator in isolation, so
+cross-operator interactions (pipelining, shared spills, stage
+scheduling) are invisible to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourceProfile
+from repro.errors import TrainingError
+from repro.plan.physical import PhysicalNode, PhysicalPlan
+from repro.workload.collection import PlanRecord
+
+__all__ = ["MicroModelConfig", "MicroCostModel"]
+
+
+@dataclass(frozen=True)
+class MicroModelConfig:
+    """Hyperparameters for the micro-model baseline."""
+
+    ridge_lambda: float = 1e-2
+    min_records_per_operator: int = 4
+
+
+def _node_features(node: PhysicalNode, resources: ResourceProfile) -> np.ndarray:
+    """Feature vector of one operator instance.
+
+    Uses *estimated* volumes (like GPSJ, micro-models run at
+    optimization time) plus the resource allocation.
+    """
+    child_rows = sum(max(c.est_rows, 0.0) for c in node.children)
+    return np.array([
+        1.0,
+        math.log1p(max(node.est_rows, 0.0)),
+        math.log1p(max(node.est_bytes, 0.0)),
+        math.log1p(child_rows),
+        resources.executors,
+        resources.executor_cores,
+        resources.executor_memory_gb,
+        math.log1p(resources.network_throughput_mbps),
+        math.log1p(resources.disk_throughput_mbps),
+    ])
+
+
+FEATURE_DIM = 9
+
+
+class MicroCostModel:
+    """Sum of per-operator-type ridge regressions.
+
+    Training distributes each record's total (log-)cost across its
+    operators proportionally to their estimated byte volume — the
+    standard trick micro-model systems use when only end-to-end labels
+    are available — then fits one ridge regression per operator type.
+    """
+
+    def __init__(self, config: MicroModelConfig | None = None) -> None:
+        self.config = config or MicroModelConfig()
+        self._weights: dict[str, np.ndarray] = {}
+        self._fallback: np.ndarray | None = None
+
+    # -- training ----------------------------------------------------------
+    def fit(self, records: list[PlanRecord]) -> "MicroCostModel":
+        """Fit per-operator models from plan records."""
+        if not records:
+            raise TrainingError("micro-model needs at least one record")
+        per_op_x: dict[str, list[np.ndarray]] = {}
+        per_op_y: dict[str, list[float]] = {}
+        all_x: list[np.ndarray] = []
+        all_y: list[float] = []
+        for record in records:
+            nodes = record.plan.nodes()
+            volumes = np.array([max(n.est_bytes, 8.0) for n in nodes])
+            shares = volumes / volumes.sum()
+            log_cost = math.log1p(max(record.cost_seconds, 0.0))
+            for node, share in zip(nodes, shares):
+                x = _node_features(node, record.resources)
+                y = log_cost * float(share)
+                per_op_x.setdefault(node.op_name, []).append(x)
+                per_op_y.setdefault(node.op_name, []).append(y)
+                all_x.append(x)
+                all_y.append(y)
+        self._fallback = self._ridge(np.array(all_x), np.array(all_y))
+        for op_name, xs in per_op_x.items():
+            if len(xs) >= self.config.min_records_per_operator:
+                self._weights[op_name] = self._ridge(
+                    np.array(xs), np.array(per_op_y[op_name]))
+        return self
+
+    def _ridge(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        lam = self.config.ridge_lambda
+        gram = x.T @ x + lam * np.eye(x.shape[1])
+        return np.linalg.solve(gram, x.T @ y)
+
+    # -- prediction ------------------------------------------------------------
+    def predict(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
+        """Predicted cost in seconds."""
+        if self._fallback is None:
+            raise TrainingError("micro-model is not fitted")
+        log_cost = 0.0
+        for node in plan.nodes():
+            weights = self._weights.get(node.op_name, self._fallback)
+            log_cost += float(weights @ _node_features(node, resources))
+        return float(np.expm1(np.clip(log_cost, 0.0, 25.0)))
+
+    def predict_records(self, records: list[PlanRecord]) -> np.ndarray:
+        """Vector of predictions for plan records."""
+        return np.array([self.predict(r.plan, r.resources) for r in records])
+
+    @property
+    def num_operator_models(self) -> int:
+        """How many per-operator micro-models were fitted."""
+        return len(self._weights)

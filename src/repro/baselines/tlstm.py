@@ -1,0 +1,174 @@
+"""TLSTM baseline: tree-structured LSTM cost estimator (Sun & Li, 2019).
+
+The state-of-the-art relational-database cost model the paper compares
+against (its Table V). Each plan operator is an LSTM unit; a node's
+input is its feature vector and its state combines the states of its
+children (child-sum Tree-LSTM):
+
+    h̃   = Σ_k h_k
+    i    = σ(W_i x + U_i h̃ + b_i)
+    f_k  = σ(W_f x + U_f h_k + b_f)        (one forget gate per child)
+    o    = σ(W_o x + U_o h̃ + b_o)
+    g    = tanh(W_g x + U_g h̃ + b_g)
+    c    = i ⊙ g + Σ_k f_k ⊙ c_k
+    h    = o ⊙ tanh(c)
+
+The root's hidden state feeds dense layers that emit the cost. As in
+the original, the model is *resource-blind* — exactly the weakness the
+paper's RAAL addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.plan_encoder import PlanEncoder
+from repro.errors import TrainingError
+from repro.nn import Adam, Dropout, Linear, Module, ReLU, Sequential, Tensor
+from repro.nn import clip_grad_norm, init, mse_loss, no_grad
+from repro.plan.physical import PhysicalNode, PhysicalPlan
+from repro.workload.collection import PlanRecord
+
+__all__ = ["TLSTMConfig", "TLSTM", "TLSTMTrainer"]
+
+
+@dataclass(frozen=True)
+class TLSTMConfig:
+    """Hyperparameters for the TLSTM baseline."""
+
+    node_dim: int = 60
+    hidden_size: int = 48
+    dense_sizes: tuple[int, ...] = (48, 24)
+    dropout: float = 0.1
+    seed: int = 0
+
+
+class TreeLSTMCell(Module):
+    """Child-sum Tree-LSTM cell operating on one node at a time."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Fused input projections for i, o, g; f has its own pair.
+        self.w_iog = init.xavier_uniform((input_size, 3 * hidden_size), rng)
+        self.u_iog = init.orthogonal((hidden_size, 3 * hidden_size), rng)
+        self.b_iog = Tensor(np.zeros(3 * hidden_size), requires_grad=True)
+        self.w_f = init.xavier_uniform((input_size, hidden_size), rng)
+        self.u_f = init.orthogonal((hidden_size, hidden_size), rng)
+        self.b_f = Tensor(np.ones(hidden_size), requires_grad=True)
+
+    def forward(self, x: Tensor, child_states: list[tuple[Tensor, Tensor]]) -> tuple[Tensor, Tensor]:
+        hs = self.hidden_size
+        if child_states:
+            h_sum = child_states[0][0]
+            for h_k, _ in child_states[1:]:
+                h_sum = h_sum + h_k
+        else:
+            h_sum = Tensor(np.zeros(hs))
+        gates = x @ self.w_iog + h_sum @ self.u_iog + self.b_iog
+        i = gates[0 * hs : 1 * hs].sigmoid()
+        o = gates[1 * hs : 2 * hs].sigmoid()
+        g = gates[2 * hs : 3 * hs].tanh()
+        c = i * g
+        wf_x = x @ self.w_f
+        for h_k, c_k in child_states:
+            f_k = (wf_x + h_k @ self.u_f + self.b_f).sigmoid()
+            c = c + f_k * c_k
+        h = o * c.tanh()
+        return h, c
+
+
+class TLSTM(Module):
+    """Tree-LSTM cost model over physical plan trees."""
+
+    def __init__(self, config: TLSTMConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embedding = Linear(config.node_dim, config.hidden_size, rng)
+        self.cell = TreeLSTMCell(config.hidden_size, config.hidden_size, rng)
+        layers: list[Module] = []
+        in_dim = config.hidden_size
+        for size in config.dense_sizes:
+            layers.extend([Linear(in_dim, size, rng), ReLU(),
+                           Dropout(config.dropout, rng)])
+            in_dim = size
+        layers.append(Linear(in_dim, 1, rng))
+        self.dense = Sequential(*layers)
+
+    def forward(self, plan: PhysicalPlan, node_features: np.ndarray) -> Tensor:
+        """Predict the (log-)cost of one plan.
+
+        ``node_features`` rows follow the plan's execution (post-)order.
+        """
+        nodes = plan.nodes()
+        if node_features.shape[0] != len(nodes):
+            raise TrainingError(
+                f"feature rows {node_features.shape[0]} != plan nodes {len(nodes)}")
+        index = plan.node_index()
+        states: dict[int, tuple[Tensor, Tensor]] = {}
+
+        def encode(node: PhysicalNode) -> tuple[Tensor, Tensor]:
+            if id(node) in states:
+                return states[id(node)]
+            child_states = [encode(c) for c in node.children]
+            x = self.embedding(Tensor(node_features[index[id(node)]])).tanh()
+            state = self.cell(x, child_states)
+            states[id(node)] = state
+            return state
+
+        h_root, _ = encode(plan.root)
+        return self.dense(h_root).squeeze()
+
+
+class TLSTMTrainer:
+    """Per-tree SGD training for the TLSTM baseline."""
+
+    def __init__(self, model: TLSTM, epochs: int = 20, learning_rate: float = 2e-3,
+                 grad_clip: float = 5.0, seed: int = 0) -> None:
+        self.model = model
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.train_losses: list[float] = []
+
+    def _features(self, record: PlanRecord, encoder: PlanEncoder) -> np.ndarray:
+        return encoder.encode(record.plan, record.resources).node_features
+
+    def fit(self, records: list[PlanRecord], encoder: PlanEncoder) -> "TLSTMTrainer":
+        """Train on plan records (targets in log space, as for RAAL)."""
+        if len(records) < 2:
+            raise TrainingError("TLSTM needs at least 2 training records")
+        rng = np.random.default_rng(self.seed)
+        features = [self._features(r, encoder) for r in records]
+        targets = [float(np.log1p(max(r.cost_seconds, 0.0))) for r in records]
+        optimizer = Adam(self.model.parameters(), lr=self.learning_rate)
+        for _ in range(self.epochs):
+            self.model.train()
+            order = rng.permutation(len(records))
+            epoch_loss = 0.0
+            for idx in order:
+                optimizer.zero_grad()
+                pred = self.model(records[idx].plan, features[idx])
+                loss = mse_loss(pred, Tensor(targets[idx]))
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+            self.train_losses.append(epoch_loss / len(records))
+        self.model.eval()
+        return self
+
+    def predict_seconds(self, records: list[PlanRecord], encoder: PlanEncoder) -> np.ndarray:
+        """Predicted costs in seconds for plan records."""
+        self.model.eval()
+        out = []
+        with no_grad():
+            for record in records:
+                pred = self.model(record.plan, self._features(record, encoder))
+                out.append(float(np.expm1(np.clip(pred.item(), 0.0, 25.0))))
+        return np.array(out)

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment``
+    Run the end-to-end pipeline (catalog → workload → collection →
+    training) for one model variant and print the paper's four metrics.
+``train``
+    Same pipeline, but persist the trained cost predictor to a
+    directory for later use.
+``predict``
+    Load a persisted predictor and estimate the cost of an ad-hoc SQL
+    query's candidate plans under a chosen resource allocation.
+``workload``
+    Generate and print a random SQL workload for a dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+from repro.cluster.resources import PAPER_CLUSTER
+from repro.core.persistence import load_predictor, save_predictor
+from repro.core.predictor import CostPredictor
+from repro.core.selector import PlanSelector
+from repro.eval.experiments import ExperimentPipeline, ExperimentScale
+from repro.eval.reporting import render_table
+from repro.plan.builder import analyze
+from repro.sql.parser import parse as parse_sql
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-aware deep cost model (ICDE 2022 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run one training experiment")
+    _pipeline_args(exp)
+    exp.add_argument("--variant", default="RAAL",
+                     help="RAAL | NE-LSTM | NA-LSTM | RAAC | OH-LSTM")
+    exp.add_argument("--no-resource-attention", action="store_true",
+                     help="train the resource-blind ablation")
+
+    train = sub.add_parser("train", help="train and persist a cost predictor")
+    _pipeline_args(train)
+    train.add_argument("--out", required=True, help="output directory")
+
+    predict = sub.add_parser("predict", help="estimate plan costs for a SQL query")
+    predict.add_argument("--model", required=True, help="persisted predictor directory")
+    predict.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
+    predict.add_argument("--catalog-scale", type=float, default=0.15)
+    predict.add_argument("--sql", required=True)
+    predict.add_argument("--memory-gb", type=float, default=4.0)
+    predict.add_argument("--executors", type=int, default=2)
+    predict.add_argument("--executor-cores", type=int, default=2)
+
+    workload = sub.add_parser("workload", help="generate a random workload")
+    workload.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
+    workload.add_argument("--catalog-scale", type=float, default=0.15)
+    workload.add_argument("--queries", type=int, default=10)
+    workload.add_argument("--max-joins", type=int, default=5)
+    workload.add_argument("--workload-class", default="mixed",
+                          choices=["numeric", "string", "mixed"])
+    workload.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
+    parser.add_argument("--queries", type=int, default=120)
+    parser.add_argument("--epochs", type=int, default=50)
+    parser.add_argument("--catalog-scale", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_pipeline(args: argparse.Namespace) -> ExperimentPipeline:
+    scale = ExperimentScale(
+        catalog_scale=args.catalog_scale,
+        num_queries=args.queries,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    return ExperimentPipeline(dataset=args.dataset, scale=scale)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    pipeline = _make_pipeline(args)
+    print(f"collecting records for {args.queries} {args.dataset} queries ...")
+    print(f"  {len(pipeline.records)} records "
+          f"({len(pipeline.collector.skipped)} queries skipped)")
+    trained = pipeline.train_variant(
+        args.variant, resource_aware=not args.no_resource_attention)
+    print(render_table(
+        f"{trained.name} on {args.dataset} (test split)",
+        ["metric", "value"],
+        [["RE", trained.metrics.re], ["MSE", trained.metrics.mse],
+         ["COR", trained.metrics.cor], ["R2", trained.metrics.r2],
+         ["train seconds", trained.train_seconds]]))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    pipeline = _make_pipeline(args)
+    trained = pipeline.train_variant("RAAL")
+    predictor = CostPredictor(trained.encoder, trained.trainer)
+    save_predictor(predictor, args.out)
+    print(f"saved predictor to {args.out}  ({trained.metrics})")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.data.imdb import build_imdb_catalog
+    from repro.data.tpch import build_tpch_catalog
+
+    builder = build_imdb_catalog if args.dataset == "imdb" else build_tpch_catalog
+    catalog = builder(scale=args.catalog_scale)
+    predictor = load_predictor(args.model)
+    resources = PAPER_CLUSTER
+    resources = type(resources)(
+        nodes=resources.nodes, cores_per_node=resources.cores_per_node,
+        executors=args.executors, executor_cores=args.executor_cores,
+        executor_memory_gb=args.memory_gb,
+        network_throughput_mbps=resources.network_throughput_mbps,
+        disk_throughput_mbps=resources.disk_throughput_mbps)
+
+    query = analyze(parse_sql(args.sql), catalog)
+    selector = PlanSelector(predictor, catalog)
+    result = selector.select(query, resources)
+    rows = [[p.label, f"{c:.3f}", "<-- chosen" if p is result.chosen else ""]
+            for p, c in zip(result.candidates, result.predicted_costs)]
+    print(render_table(f"predicted costs under {resources}",
+                       ["plan", "predicted seconds", ""], rows))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.data.imdb import build_imdb_catalog
+    from repro.data.tpch import build_tpch_catalog
+
+    builder = build_imdb_catalog if args.dataset == "imdb" else build_tpch_catalog
+    catalog = builder(scale=args.catalog_scale)
+    generator = QueryGenerator(
+        catalog,
+        WorkloadConfig(max_joins=args.max_joins, workload=args.workload_class),
+        seed=args.seed)
+    for sql in generator.generate(args.queries):
+        print(sql + ";")
+    return 0
+
+
+_COMMANDS = {
+    "experiment": _cmd_experiment,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "workload": _cmd_workload,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

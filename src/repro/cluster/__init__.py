@@ -1,0 +1,28 @@
+"""Spark cluster simulator: resources, stage model, cost functions."""
+
+from repro.cluster.costfuncs import OperatorCost, SimulatorParams, operator_cost
+from repro.cluster.resources import (
+    MAX_CLUSTER,
+    PAPER_CLUSTER,
+    RESOURCE_FEATURE_NAMES,
+    ResourceProfile,
+    ResourceSampler,
+)
+from repro.cluster.simulator import SimulationResult, SparkSimulator, StageTime
+from repro.cluster.stages import Stage, split_stages
+
+__all__ = [
+    "ResourceProfile",
+    "ResourceSampler",
+    "PAPER_CLUSTER",
+    "MAX_CLUSTER",
+    "RESOURCE_FEATURE_NAMES",
+    "SimulatorParams",
+    "OperatorCost",
+    "operator_cost",
+    "Stage",
+    "split_stages",
+    "SparkSimulator",
+    "SimulationResult",
+    "StageTime",
+]

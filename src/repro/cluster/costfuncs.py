@@ -1,0 +1,231 @@
+"""Per-operator cost primitives for the cluster simulator.
+
+Each function converts an operator's data volume (rows/bytes, observed
+by the execution engine) plus the resource profile into low-level work:
+CPU seconds, disk bytes, network bytes, and per-task memory demand.
+The simulator aggregates these per stage and converts them to time.
+
+The parameters are calibrated to produce *plausible Spark-like* times
+at our data scales, not to match any specific hardware. What matters
+for the reproduction is the relative structure: scans are I/O-bound,
+sorts are n·log n and spill under memory pressure, broadcasts trade
+network volume for shuffle avoidance but cliff when the build side no
+longer fits in executor memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceProfile
+from repro.errors import SimulationError
+from repro.plan.physical import (
+    BroadcastExchange,
+    BroadcastHashJoin,
+    BroadcastNestedLoopJoin,
+    ExchangeHashPartition,
+    ExchangeSinglePartition,
+    FileScan,
+    FilterExec,
+    HashAggregate,
+    LimitExec,
+    PhysicalNode,
+    ProjectExec,
+    SortAggregate,
+    SortExec,
+    SortMergeJoin,
+)
+
+__all__ = ["SimulatorParams", "OperatorCost", "operator_cost"]
+
+
+@dataclass(frozen=True)
+class SimulatorParams:
+    """Tunable constants of the execution model (all times in seconds)."""
+
+    # Volume amplification: each executed row stands for ``data_scale``
+    # rows of the paper's full-size dataset. Execution on the small
+    # synthetic catalog yields exact cardinality *structure*; the
+    # amplification puts the simulator in the same data-to-memory
+    # regime as the paper (GB-scale inputs vs. 1-6 GB executors), so
+    # spill and broadcast cliffs appear at realistic memory sizes.
+    data_scale: float = 6000.0
+    # CPU cost per row, by kind of work (seconds/row).
+    cpu_scan_row: float = 90e-9
+    cpu_filter_row: float = 45e-9
+    cpu_project_row: float = 25e-9
+    cpu_sort_row: float = 28e-9          # multiplied by log2(n)
+    cpu_hash_build_row: float = 130e-9
+    cpu_hash_probe_row: float = 65e-9
+    cpu_merge_row: float = 55e-9
+    cpu_agg_row: float = 70e-9
+    cpu_serialize_row: float = 35e-9
+    cpu_nested_loop_pair: float = 9e-9
+    # Memory model.
+    hash_table_overhead: float = 2.0     # hash build bytes per input byte
+    broadcast_memory_fraction: float = 0.35  # of executor heap
+    spill_write_read_factor: float = 2.0     # spilled bytes hit disk twice
+    broadcast_fallback_io_factor: float = 9.0
+    broadcast_fallback_cpu_factor: float = 4.0
+    # JVM/GC: extra CPU per second of work per GB of heap.
+    gc_cost_per_gb: float = 0.03
+    # Scheduling.
+    bytes_per_task: float = 32e6
+    max_tasks_per_stage: int = 400
+    # Reduce-side stages read a fixed number of shuffle partitions (the
+    # spark.sql.shuffle.partitions analogue); with skewed join keys the
+    # largest partition holds several times the average volume.
+    shuffle_partitions: int = 4
+    partition_skew: float = 5.0
+    map_side_skew: float = 1.3
+    task_overhead: float = 0.004
+    wave_overhead: float = 0.03
+    job_overhead: float = 0.25
+    executor_startup: float = 0.08
+    skew_factor: float = 0.3
+    # Resource allocation mechanism (paper Sec. II-A): "static" holds
+    # all granted executors for the application's lifetime; "dynamic"
+    # holds only the executors a stage can use, releasing the rest, at
+    # the price of re-acquisition latency when later stages scale up.
+    allocation: str = "static"
+    executor_acquire_latency: float = 0.35
+    # Stochastic cloud contention (lognormal sigma per stage).
+    noise_sigma: float = 0.06
+    # I/O overlap: fraction of non-bottleneck work hidden by pipelining.
+    overlap_fraction: float = 0.7
+
+
+@dataclass
+class OperatorCost:
+    """Low-level work an operator contributes to its stage."""
+
+    cpu_seconds: float = 0.0
+    disk_bytes: float = 0.0
+    network_bytes: float = 0.0
+    spilled_bytes: float = 0.0
+    broadcast_fallback: bool = False
+
+    def add(self, other: "OperatorCost") -> None:
+        """Accumulate another operator's work into this one."""
+        self.cpu_seconds += other.cpu_seconds
+        self.disk_bytes += other.disk_bytes
+        self.network_bytes += other.network_bytes
+        self.spilled_bytes += other.spilled_bytes
+        self.broadcast_fallback |= other.broadcast_fallback
+
+
+def _spill_bytes(data_bytes: float, memory_per_task: float, tasks: int,
+                 params: SimulatorParams, skew: float = 1.0) -> float:
+    """Disk traffic caused by spilling when per-task data exceeds memory.
+
+    ``skew`` scales the average per-task volume up to the largest
+    partition's volume, which is what actually overflows first.
+    """
+    per_task = min(data_bytes / max(tasks, 1) * skew, 0.8 * data_bytes)
+    if per_task <= memory_per_task:
+        return 0.0
+    overflow_fraction = 1.0 - memory_per_task / per_task
+    # Multi-pass external algorithms touch overflow data on each pass.
+    passes = max(1.0, math.log2(max(per_task / memory_per_task, 2.0)))
+    return data_bytes * overflow_fraction * passes * params.spill_write_read_factor
+
+
+def _rows(node: PhysicalNode, params: SimulatorParams) -> float:
+    """Amplified row count of a node's output."""
+    return max(node.rows, 0.0) * params.data_scale
+
+
+def _node_bytes(node: PhysicalNode, params: SimulatorParams) -> float:
+    """Amplified byte volume of a node's output."""
+    return max(node.bytes, 8.0 * max(node.rows, 1.0)) * params.data_scale
+
+
+def operator_cost(node: PhysicalNode, resources: ResourceProfile,
+                  params: SimulatorParams, tasks: int,
+                  skew: float = 1.0) -> OperatorCost:
+    """Work contributed by one operator, given its observed volumes.
+
+    ``tasks`` is the parallelism of the operator's stage and ``skew``
+    the largest-partition multiplier (spilling is per-task and gated by
+    the biggest partition).
+    """
+    rows = _rows(node, params)
+    bytes_ = _node_bytes(node, params)
+    mem_per_task = resources.execution_memory_per_task
+    cost = OperatorCost()
+
+    if isinstance(node, FileScan):
+        raw_rows = rows
+        # A scan reads the base table from disk; pushed filters reduce
+        # CPU row work only after the read.
+        cost.disk_bytes += bytes_ if not node.pushed_filters else bytes_ * 1.15
+        cost.cpu_seconds += raw_rows * params.cpu_scan_row
+        if node.pushed_filters:
+            cost.cpu_seconds += raw_rows * params.cpu_filter_row * len(node.pushed_filters)
+    elif isinstance(node, FilterExec):
+        input_rows = _rows(node.child, params)
+        cost.cpu_seconds += input_rows * params.cpu_filter_row * max(len(node.predicates), 1)
+    elif isinstance(node, ProjectExec):
+        cost.cpu_seconds += rows * params.cpu_project_row
+    elif isinstance(node, SortExec):
+        n = max(rows, 2.0)
+        cost.cpu_seconds += n * params.cpu_sort_row * math.log2(n)
+        spilled = _spill_bytes(bytes_, mem_per_task, tasks, params, skew)
+        cost.disk_bytes += spilled
+        cost.spilled_bytes += spilled
+    elif isinstance(node, (ExchangeHashPartition, ExchangeSinglePartition)):
+        child_rows = _rows(node.child, params)
+        child_bytes = _node_bytes(node.child, params)
+        cost.cpu_seconds += child_rows * params.cpu_serialize_row * 2  # ser + deser
+        cost.network_bytes += child_bytes
+        cost.disk_bytes += child_bytes  # shuffle files hit local disk
+    elif isinstance(node, BroadcastExchange):
+        build_bytes = _node_bytes(node.child, params)
+        # Collect at driver, then push to every executor.
+        cost.network_bytes += build_bytes * (1 + resources.executors)
+        cost.cpu_seconds += _rows(node.child, params) * params.cpu_serialize_row * 2
+        needed = build_bytes * params.hash_table_overhead
+        budget = params.broadcast_memory_fraction * resources.executor_memory_bytes
+        if needed > budget:
+            # The broadcast relation does not fit: Spark degenerates into
+            # disk-backed lookups; model a severe I/O + CPU penalty.
+            cost.broadcast_fallback = True
+            cost.disk_bytes += build_bytes * params.broadcast_fallback_io_factor
+    elif isinstance(node, BroadcastHashJoin):
+        build = node.right  # BroadcastExchange subtree
+        build_source = build.children[0] if build.children else build
+        build_rows = _rows(build_source, params)
+        probe_rows = _rows(node.left, params)
+        cpu = (build_rows * params.cpu_hash_build_row
+               + probe_rows * params.cpu_hash_probe_row
+               + rows * params.cpu_project_row)
+        needed = _node_bytes(build_source, params) * params.hash_table_overhead
+        budget = params.broadcast_memory_fraction * resources.executor_memory_bytes
+        if needed > budget:
+            cpu *= params.broadcast_fallback_cpu_factor
+        cost.cpu_seconds += cpu
+    elif isinstance(node, SortMergeJoin):
+        cost.cpu_seconds += (_rows(node.left, params)
+                             + _rows(node.right, params)) * params.cpu_merge_row
+        cost.cpu_seconds += rows * params.cpu_project_row
+    elif isinstance(node, BroadcastNestedLoopJoin):
+        pairs = _rows(node.left, params) * max(_rows(node.right, params), 1.0)
+        cost.cpu_seconds += pairs * params.cpu_nested_loop_pair
+    elif isinstance(node, (HashAggregate, SortAggregate)):
+        input_rows = _rows(node.child, params)
+        cost.cpu_seconds += input_rows * params.cpu_agg_row
+        table_bytes = max(_node_bytes(node, params), 64.0)
+        if isinstance(node, HashAggregate):
+            table_bytes *= params.hash_table_overhead
+            spilled = _spill_bytes(table_bytes, mem_per_task, tasks, params, skew)
+        else:
+            spilled = _spill_bytes(
+                _node_bytes(node.child, params), mem_per_task, tasks, params, skew)
+        cost.disk_bytes += spilled
+        cost.spilled_bytes += spilled
+    elif isinstance(node, LimitExec):
+        cost.cpu_seconds += rows * params.cpu_project_row
+    else:
+        raise SimulationError(f"no cost model for operator {type(node).__name__}")
+    return cost

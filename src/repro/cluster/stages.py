@@ -1,0 +1,106 @@
+"""Stage decomposition of physical plans (Spark's DAG scheduler model).
+
+Spark splits a physical plan into *stages* at exchange boundaries: the
+subtree feeding an ``Exchange`` runs as one stage (map side + shuffle
+write), and the operators above it read the shuffled data in a later
+stage. ``BroadcastExchange`` likewise ends the build-side stage.
+
+The simulator charges each stage its task-parallel execution time and
+charges the boundary its shuffle/broadcast transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plan.physical import (
+    BroadcastExchange,
+    ExchangeHashPartition,
+    ExchangeSinglePartition,
+    PhysicalNode,
+    PhysicalPlan,
+)
+
+__all__ = ["Stage", "split_stages"]
+
+_BOUNDARY_TYPES = (ExchangeHashPartition, ExchangeSinglePartition, BroadcastExchange)
+
+
+@dataclass
+class Stage:
+    """A pipeline of operators executed as one wave-scheduled task set.
+
+    ``boundary`` is the exchange node that terminates this stage (its
+    shuffle write / broadcast), or ``None`` for the result stage.
+    ``children`` are the stages whose output this stage reads.
+    """
+
+    stage_id: int
+    nodes: list[PhysicalNode] = field(default_factory=list)
+    boundary: PhysicalNode | None = None
+    children: list["Stage"] = field(default_factory=list)
+
+    @property
+    def is_result_stage(self) -> bool:
+        """Whether this stage produces the final query result."""
+        return self.boundary is None
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether this stage feeds a broadcast exchange."""
+        return isinstance(self.boundary, BroadcastExchange)
+
+    def input_rows(self) -> float:
+        """Rows this stage reads from base tables and child exchanges."""
+        total = 0.0
+        for node in self.nodes:
+            if not node.children:  # leaf: FileScan
+                total += node.rows
+        for child in self.children:
+            if child.boundary is not None:
+                total += child.boundary.rows
+        return total
+
+    def output_rows(self) -> float:
+        """Rows this stage emits through its boundary (or as the result)."""
+        if self.boundary is not None:
+            return self.boundary.rows
+        return self.nodes[-1].rows if self.nodes else 0.0
+
+    def __repr__(self) -> str:
+        kind = "result" if self.is_result_stage else self.boundary.op_name
+        ops = ",".join(n.op_name for n in self.nodes)
+        return f"Stage#{self.stage_id}({kind}: {ops})"
+
+
+def split_stages(plan: PhysicalPlan) -> list[Stage]:
+    """Split ``plan`` into stages; children precede parents in the list.
+
+    Each exchange node belongs to the *child* stage (it models the
+    shuffle write); the parent stage lists that child stage in its
+    ``children``.
+    """
+    stages: list[Stage] = []
+    counter = [0]
+
+    def new_stage(boundary: PhysicalNode | None) -> Stage:
+        stage = Stage(stage_id=counter[0], boundary=boundary)
+        counter[0] += 1
+        return stage
+
+    def walk(node: PhysicalNode, stage: Stage) -> None:
+        # Children first so nodes end up in execution order.
+        for child in node.children:
+            if isinstance(child, _BOUNDARY_TYPES):
+                child_stage = new_stage(child)
+                walk(child, child_stage)
+                stages.append(child_stage)
+                stage.children.append(child_stage)
+            else:
+                walk(child, stage)
+        stage.nodes.append(node)
+
+    result_stage = new_stage(None)
+    walk(plan.root, result_stage)
+    stages.append(result_stage)
+    return stages

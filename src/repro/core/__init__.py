@@ -1,0 +1,44 @@
+"""The paper's contribution: the RAAL deep cost model and its tooling."""
+
+from repro.core.advisor import (
+    AllocationPrice,
+    Recommendation,
+    ResourceAdvisor,
+    default_profile_grid,
+)
+from repro.core.persistence import load_predictor, save_predictor
+from repro.core.predictor import CostPredictor
+from repro.core.raal import RAAL, RAALBatch, RAALConfig
+from repro.core.selector import PlanSelector, SelectionResult
+from repro.core.trainer import (
+    Trainer,
+    TrainerConfig,
+    TrainingSample,
+    TrainResult,
+    collate,
+)
+from repro.core.variants import VARIANTS, VariantSpec, make_model, variant
+
+__all__ = [
+    "RAAL",
+    "RAALConfig",
+    "RAALBatch",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingSample",
+    "TrainResult",
+    "collate",
+    "CostPredictor",
+    "save_predictor",
+    "load_predictor",
+    "PlanSelector",
+    "SelectionResult",
+    "VariantSpec",
+    "VARIANTS",
+    "variant",
+    "make_model",
+    "ResourceAdvisor",
+    "AllocationPrice",
+    "Recommendation",
+    "default_profile_grid",
+]

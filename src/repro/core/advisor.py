@@ -1,0 +1,134 @@
+"""Resource recommendation: the cost model run in reverse.
+
+The paper contrasts itself with systems that "match the best resources
+for a given query execution plan" [31, 32] — with a resource-aware cost
+model both directions come for free. Given a query's candidate plans,
+:class:`ResourceAdvisor` searches a grid of resource profiles for:
+
+* the cheapest allocation whose predicted runtime meets an SLA, or
+* the allocation minimizing predicted runtime subject to a budget.
+
+Allocation "price" is a simple core·GB-weighted sum, configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourceProfile
+from repro.core.predictor import CostPredictor
+from repro.errors import PlanError
+from repro.plan.physical import PhysicalPlan
+
+__all__ = ["AllocationPrice", "Recommendation", "ResourceAdvisor", "default_profile_grid"]
+
+
+@dataclass(frozen=True)
+class AllocationPrice:
+    """Linear pricing of an allocation (cloud-style)."""
+
+    per_core_hour: float = 0.05
+    per_gb_hour: float = 0.01
+
+    def hourly(self, profile: ResourceProfile) -> float:
+        """Price per hour of holding the allocation."""
+        cores = profile.executors * profile.executor_cores
+        memory = profile.executors * profile.executor_memory_gb
+        return cores * self.per_core_hour + memory * self.per_gb_hour
+
+
+@dataclass
+class Recommendation:
+    """Outcome of a resource search."""
+
+    profile: ResourceProfile
+    plan: PhysicalPlan
+    predicted_seconds: float
+    hourly_price: float
+    candidates_evaluated: int
+
+    @property
+    def predicted_cost_dollars(self) -> float:
+        """Price of the run itself (runtime × hourly price)."""
+        return self.hourly_price * self.predicted_seconds / 3600.0
+
+
+def default_profile_grid(base: ResourceProfile | None = None) -> list[ResourceProfile]:
+    """A modest grid over executors × cores × memory."""
+    base = base or ResourceProfile()
+    grid = []
+    for executors in (1, 2, 3, 4):
+        for cores in (1, 2, 4):
+            for memory in (1.0, 2.0, 4.0, 6.0):
+                grid.append(ResourceProfile(
+                    nodes=base.nodes, cores_per_node=base.cores_per_node,
+                    executors=executors, executor_cores=cores,
+                    executor_memory_gb=memory,
+                    network_throughput_mbps=base.network_throughput_mbps,
+                    disk_throughput_mbps=base.disk_throughput_mbps))
+    return grid
+
+
+class ResourceAdvisor:
+    """Searches resource profiles with a trained cost predictor."""
+
+    def __init__(self, predictor: CostPredictor,
+                 price: AllocationPrice | None = None) -> None:
+        self.predictor = predictor
+        self.price = price or AllocationPrice()
+
+    def _best_plan_per_profile(self, plans: list[PhysicalPlan],
+                               profiles: list[ResourceProfile]):
+        """For each profile, the predicted-best plan and its runtime."""
+        if not plans:
+            raise PlanError("advisor needs at least one candidate plan")
+        if not profiles:
+            raise PlanError("advisor needs at least one resource profile")
+        pairs = [(plan, profile) for profile in profiles for plan in plans]
+        costs = self.predictor.predict_many(pairs)
+        per_profile = costs.reshape(len(profiles), len(plans))
+        best_idx = per_profile.argmin(axis=1)
+        best_costs = per_profile.min(axis=1)
+        return best_idx, best_costs
+
+    def cheapest_meeting_sla(self, plans: list[PhysicalPlan],
+                             sla_seconds: float,
+                             profiles: list[ResourceProfile] | None = None) -> Recommendation | None:
+        """Cheapest allocation predicted to finish within the SLA.
+
+        Returns ``None`` when no profile in the grid meets the SLA.
+        """
+        profiles = profiles if profiles is not None else default_profile_grid()
+        best_idx, best_costs = self._best_plan_per_profile(plans, profiles)
+        feasible = [i for i in range(len(profiles)) if best_costs[i] <= sla_seconds]
+        if not feasible:
+            return None
+        cheapest = min(feasible, key=lambda i: self.price.hourly(profiles[i]))
+        return Recommendation(
+            profile=profiles[cheapest],
+            plan=plans[int(best_idx[cheapest])],
+            predicted_seconds=float(best_costs[cheapest]),
+            hourly_price=self.price.hourly(profiles[cheapest]),
+            candidates_evaluated=len(profiles) * len(plans),
+        )
+
+    def fastest_within_budget(self, plans: list[PhysicalPlan],
+                              max_hourly_price: float,
+                              profiles: list[ResourceProfile] | None = None) -> Recommendation | None:
+        """Fastest allocation whose hourly price fits the budget."""
+        profiles = profiles if profiles is not None else default_profile_grid()
+        affordable = [p for p in profiles
+                      if self.price.hourly(p) <= max_hourly_price]
+        if not affordable:
+            return None
+        best_idx, best_costs = self._best_plan_per_profile(plans, affordable)
+        winner = int(np.argmin(best_costs))
+        return Recommendation(
+            profile=affordable[winner],
+            plan=plans[int(best_idx[winner])],
+            predicted_seconds=float(best_costs[winner]),
+            hourly_price=self.price.hourly(affordable[winner]),
+            candidates_evaluated=len(affordable) * len(plans),
+        )

@@ -1,0 +1,102 @@
+"""Save/load a trained cost predictor (model + encoder) to a directory.
+
+A persisted predictor is a directory of three files:
+
+* ``meta.json`` — model config, trainer config, encoder switches;
+* ``model.npz`` — the RAAL parameter state dict;
+* ``word2vec.npz`` — the node-semantic embedding model (absent when the
+  encoder uses one-hot node semantics).
+
+This is what a deployment stores after the (re)training phase and loads
+into the query optimizer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict
+
+from repro.core.predictor import CostPredictor
+from repro.core.raal import RAAL, RAALConfig
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.encoding.node_semantic import NodeSemanticEncoder
+from repro.encoding.plan_encoder import PlanEncoder
+from repro.encoding.structure import StructureEncoder
+from repro.errors import TrainingError
+from repro.nn.serialization import load_model, save_model
+from repro.text.word2vec import Word2Vec
+
+__all__ = ["save_predictor", "load_predictor"]
+
+_META_FILE = "meta.json"
+_MODEL_FILE = "model.npz"
+_W2V_FILE = "word2vec.npz"
+
+
+def save_predictor(predictor: CostPredictor, directory: str | os.PathLike) -> None:
+    """Persist a trained predictor under ``directory`` (created if needed)."""
+    model = predictor.trainer.model
+    if not isinstance(model, RAAL):
+        raise TrainingError(
+            f"only RAAL-family predictors can be persisted, got {type(model).__name__}")
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    encoder = predictor.encoder
+    meta = {
+        "model_config": _jsonable(asdict(model.config)),
+        "trainer_config": _jsonable(asdict(predictor.trainer.config)),
+        "encoder": {
+            "use_structure": encoder.use_structure,
+            "use_onehot": encoder.use_onehot,
+            "max_nodes": encoder.structure.max_nodes if encoder.structure else 48,
+            "include_cardinality": (
+                encoder.semantic.include_cardinality
+                if encoder.semantic is not None else True),
+        },
+    }
+    (path / _META_FILE).write_text(json.dumps(meta, indent=2))
+    save_model(model, path / _MODEL_FILE)
+    if encoder.semantic is not None:
+        encoder.semantic.word2vec.save(path / _W2V_FILE)
+
+
+def load_predictor(directory: str | os.PathLike) -> CostPredictor:
+    """Restore a predictor saved by :func:`save_predictor`."""
+    path = pathlib.Path(directory)
+    meta_path = path / _META_FILE
+    if not meta_path.exists():
+        raise TrainingError(f"no persisted predictor at {path}")
+    meta = json.loads(meta_path.read_text())
+
+    model_cfg = dict(meta["model_config"])
+    model_cfg["dense_sizes"] = tuple(model_cfg["dense_sizes"])
+    model = RAAL(RAALConfig(**model_cfg))
+    load_model(model, path / _MODEL_FILE)
+    model.eval()
+
+    enc_meta = meta["encoder"]
+    semantic = None
+    if not enc_meta["use_onehot"]:
+        word2vec = Word2Vec.load(path / _W2V_FILE)
+        semantic = NodeSemanticEncoder(
+            word2vec, include_cardinality=enc_meta["include_cardinality"])
+    encoder = PlanEncoder(
+        semantic=semantic,
+        structure=StructureEncoder(max_nodes=enc_meta["max_nodes"]),
+        use_structure=enc_meta["use_structure"],
+        use_onehot=enc_meta["use_onehot"],
+    )
+    trainer = Trainer(model, TrainerConfig(**meta["trainer_config"]))
+    return CostPredictor(encoder, trainer)
+
+
+def _jsonable(mapping: dict) -> dict:
+    out = {}
+    for key, value in mapping.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out

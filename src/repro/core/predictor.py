@@ -1,0 +1,34 @@
+"""High-level cost prediction API (the "cost prediction" phase, Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resources import ResourceProfile
+from repro.core.trainer import Trainer
+from repro.encoding.plan_encoder import PlanEncoder
+from repro.plan.physical import PhysicalPlan
+
+__all__ = ["CostPredictor"]
+
+
+class CostPredictor:
+    """Predicts execution costs for (plan, resources) pairs.
+
+    Bundles a fitted :class:`~repro.encoding.plan_encoder.PlanEncoder`
+    and a trained model so downstream code (the plan selector, the
+    benchmarks) can ask for costs directly.
+    """
+
+    def __init__(self, encoder: PlanEncoder, trainer: Trainer) -> None:
+        self.encoder = encoder
+        self.trainer = trainer
+
+    def predict(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
+        """Predicted cost (seconds) of running ``plan`` under ``resources``."""
+        return float(self.predict_many([(plan, resources)])[0])
+
+    def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]]) -> np.ndarray:
+        """Vector of predicted costs for many (plan, resources) pairs."""
+        encoded = self.encoder.encode_many(pairs)
+        return self.trainer.predict_seconds(encoded)

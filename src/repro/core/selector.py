@@ -1,0 +1,69 @@
+"""Plan selection: use the learned cost model to pick execution plans.
+
+This is the end use of the paper's model (its Fig. 1): for each query,
+enumerate Catalyst's candidate physical plans and execute the one the
+cost model predicts to be fastest given the *current* resources —
+versus the rule-based Catalyst default choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourceProfile
+from repro.core.predictor import CostPredictor
+from repro.data.catalog import Catalog
+from repro.errors import PlanError
+from repro.plan.builder import AnalyzedQuery
+from repro.plan.enumerator import EnumeratorConfig, enumerate_plans
+from repro.plan.physical import PhysicalPlan
+
+__all__ = ["SelectionResult", "PlanSelector"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of selecting a plan for one query."""
+
+    chosen: PhysicalPlan
+    default: PhysicalPlan
+    candidates: list[PhysicalPlan]
+    predicted_costs: np.ndarray
+
+    @property
+    def chose_default(self) -> bool:
+        """Whether the model picked the same plan as the rule-based default."""
+        return self.chosen.signature() == self.default.signature()
+
+
+class PlanSelector:
+    """Selects the predicted-cheapest plan for a query under resources."""
+
+    def __init__(self, predictor: CostPredictor, catalog: Catalog,
+                 config: EnumeratorConfig | None = None) -> None:
+        self.predictor = predictor
+        self.catalog = catalog
+        self.config = config or EnumeratorConfig()
+
+    def select(self, query: AnalyzedQuery, resources: ResourceProfile,
+               candidates: list[PhysicalPlan] | None = None) -> SelectionResult:
+        """Pick the best plan for ``query`` given ``resources``.
+
+        ``candidates`` may be supplied when the caller already
+        enumerated (and possibly executed) the plans; otherwise they
+        are enumerated here. The first candidate is always the
+        Catalyst-style default plan.
+        """
+        plans = candidates or enumerate_plans(query, self.catalog, self.config)
+        if not plans:
+            raise PlanError("no candidate plans to select from")
+        costs = self.predictor.predict_many([(p, resources) for p in plans])
+        best = int(np.argmin(costs))
+        return SelectionResult(
+            chosen=plans[best],
+            default=plans[0],
+            candidates=list(plans),
+            predicted_costs=costs,
+        )

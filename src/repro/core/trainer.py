@@ -1,0 +1,195 @@
+"""Training loop for the deep cost models.
+
+Targets are trained in log space (``log1p(seconds)``) — the standard
+practice for cost models, whose labels span orders of magnitude — and
+converted back for metric reporting in original space where needed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.raal import RAAL, RAALBatch
+from repro.encoding.plan_encoder import EncodedPlan
+from repro.errors import TrainingError
+from repro.nn import Adam, StepLR, clip_grad_norm, mse_loss, no_grad, Tensor
+
+__all__ = ["TrainingSample", "TrainerConfig", "TrainResult", "Trainer", "collate"]
+
+
+@dataclass
+class TrainingSample:
+    """One (encoded plan, observed cost) training record."""
+
+    encoded: EncodedPlan
+    cost_seconds: float
+
+    @property
+    def log_cost(self) -> float:
+        """Training-space target."""
+        return float(np.log1p(max(self.cost_seconds, 0.0)))
+
+
+def collate(samples: list[TrainingSample], max_nodes: int | None = None) -> RAALBatch:
+    """Zero-pad a list of samples into one :class:`RAALBatch`."""
+    if not samples:
+        raise TrainingError("cannot collate an empty batch")
+    n = max(s.encoded.num_nodes for s in samples)
+    if max_nodes is not None:
+        n = max(n, max_nodes)
+    batch_size = len(samples)
+    node_dim = samples[0].encoded.node_features.shape[1]
+    feats = np.zeros((batch_size, n, node_dim))
+    child = np.zeros((batch_size, n, n), dtype=bool)
+    mask = np.zeros((batch_size, n), dtype=bool)
+    resources = np.stack([s.encoded.resources for s in samples])
+    extras = np.stack([s.encoded.extras for s in samples])
+    targets = np.array([s.log_cost for s in samples])
+    for i, sample in enumerate(samples):
+        k = sample.encoded.num_nodes
+        feats[i, :k] = sample.encoded.node_features
+        child[i, :k, :k] = sample.encoded.child_mask
+        mask[i, :k] = True
+    return RAALBatch(
+        node_features=feats, child_mask=child, node_mask=mask,
+        resources=resources, extras=extras, targets=targets,
+    )
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Knobs for :class:`Trainer`."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    weight_decay: float = 1e-5
+    grad_clip: float = 5.0
+    validation_fraction: float = 0.1
+    early_stopping_patience: int = 8
+    # When set, the learning rate decays by ``lr_decay_gamma`` every
+    # ``lr_decay_epochs`` epochs (StepLR).
+    lr_decay_epochs: int | None = None
+    lr_decay_gamma: float = 0.5
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Loss history and timing of one training run."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    train_seconds: float = 0.0
+
+    @property
+    def final_train_loss(self) -> float:
+        """Training loss of the last epoch."""
+        if not self.train_losses:
+            raise TrainingError("no epochs were run")
+        return self.train_losses[-1]
+
+
+class Trainer:
+    """Minibatch trainer with early stopping on a validation split."""
+
+    def __init__(self, model: RAAL, config: TrainerConfig | None = None) -> None:
+        self.model = model
+        self.config = config or TrainerConfig()
+
+    def fit(self, samples: list[TrainingSample]) -> TrainResult:
+        """Train the model in place; returns the loss history."""
+        cfg = self.config
+        if len(samples) < 4:
+            raise TrainingError(f"need at least 4 samples, got {len(samples)}")
+        rng = np.random.default_rng(cfg.seed)
+        order = rng.permutation(len(samples))
+        n_val = max(1, int(len(samples) * cfg.validation_fraction))
+        val_samples = [samples[i] for i in order[:n_val]]
+        train_samples = [samples[i] for i in order[n_val:]]
+
+        optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate,
+                         weight_decay=cfg.weight_decay)
+        scheduler = (StepLR(optimizer, cfg.lr_decay_epochs, cfg.lr_decay_gamma)
+                     if cfg.lr_decay_epochs else None)
+        result = TrainResult()
+        best_val = np.inf
+        best_state = self.model.state_dict()
+        patience_left = cfg.early_stopping_patience
+        start = time.perf_counter()
+
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            perm = rng.permutation(len(train_samples))
+            epoch_loss = 0.0
+            batches = 0
+            for lo in range(0, len(train_samples), cfg.batch_size):
+                chunk = [train_samples[i] for i in perm[lo : lo + cfg.batch_size]]
+                batch = collate(chunk)
+                optimizer.zero_grad()
+                pred = self.model(batch)
+                loss = mse_loss(pred, Tensor(batch.targets))
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            train_loss = epoch_loss / max(batches, 1)
+            val_loss = self.evaluate_loss(val_samples)
+            result.train_losses.append(train_loss)
+            result.val_losses.append(val_loss)
+            if scheduler is not None:
+                scheduler.step()
+            if cfg.verbose:
+                print(f"epoch {epoch:3d}  train={train_loss:.4f}  val={val_loss:.4f}")
+            if val_loss < best_val - 1e-6:
+                best_val = val_loss
+                best_state = self.model.state_dict()
+                result.best_epoch = epoch
+                patience_left = cfg.early_stopping_patience
+            else:
+                patience_left -= 1
+                if patience_left <= 0:
+                    break
+        self.model.load_state_dict(best_state)
+        self.model.eval()
+        result.train_seconds = time.perf_counter() - start
+        return result
+
+    def evaluate_loss(self, samples: list[TrainingSample]) -> float:
+        """Mean MSE (log space) over samples, in eval mode."""
+        if not samples:
+            raise TrainingError("cannot evaluate on an empty sample list")
+        self.model.eval()
+        total = 0.0
+        count = 0
+        cfg = self.config
+        with no_grad():
+            for lo in range(0, len(samples), cfg.batch_size):
+                chunk = samples[lo : lo + cfg.batch_size]
+                batch = collate(chunk)
+                pred = self.model(batch)
+                total += mse_loss(pred, Tensor(batch.targets)).item() * len(chunk)
+                count += len(chunk)
+        return total / count
+
+    def predict_log(self, encoded: list[EncodedPlan]) -> np.ndarray:
+        """Log-space predictions for encoded plans."""
+        self.model.eval()
+        preds: list[np.ndarray] = []
+        cfg = self.config
+        dummy = [TrainingSample(e, 0.0) for e in encoded]
+        with no_grad():
+            for lo in range(0, len(dummy), cfg.batch_size):
+                batch = collate(dummy[lo : lo + cfg.batch_size])
+                preds.append(self.model(batch).numpy())
+        return np.concatenate(preds)
+
+    def predict_seconds(self, encoded: list[EncodedPlan]) -> np.ndarray:
+        """Predicted costs in seconds (inverse of the log transform)."""
+        return np.expm1(np.clip(self.predict_log(encoded), 0.0, 25.0))

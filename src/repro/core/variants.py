@@ -1,0 +1,72 @@
+"""Model variants for the paper's ablation studies.
+
+Each :class:`VariantSpec` bundles the *encoder* switches (structure
+embedding on/off, word2vec vs. one-hot) with the *model* switches
+(node-aware attention, LSTM vs. CNN, resource-aware attention), because
+the paper's ablations cut across both:
+
+========  =========  ==============  =============  ====================
+variant   structure  node attention  feature layer  resource attention
+========  =========  ==============  =============  ====================
+RAAL      yes        yes             LSTM           yes (Table VII: ±)
+NE-LSTM   no         yes             LSTM           ±
+NA-LSTM   yes        no              LSTM           ±
+RAAC      yes        yes             CNN            ±
+OH-LSTM*  yes        yes             LSTM           ±
+========  =========  ==============  =============  ====================
+
+``OH-LSTM`` (one-hot node semantics instead of word2vec) is an extra
+ablation motivated by Sec. IV-C's discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.raal import RAAL, RAALConfig
+
+__all__ = ["VariantSpec", "VARIANTS", "make_model", "variant"]
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Encoder + model switches defining one ablation variant."""
+
+    name: str
+    use_structure: bool = True
+    use_onehot: bool = False
+    use_node_attention: bool = True
+    feature_layer: str = "lstm"
+
+    def model_config(self, base: RAALConfig,
+                     use_resource_attention: bool = True) -> RAALConfig:
+        """Derive the :class:`RAALConfig` for this variant."""
+        return replace(
+            base,
+            use_node_attention=self.use_node_attention,
+            feature_layer=self.feature_layer,
+            use_resource_attention=use_resource_attention,
+        )
+
+
+VARIANTS: dict[str, VariantSpec] = {
+    "RAAL": VariantSpec(name="RAAL"),
+    "NE-LSTM": VariantSpec(name="NE-LSTM", use_structure=False),
+    "NA-LSTM": VariantSpec(name="NA-LSTM", use_node_attention=False),
+    "RAAC": VariantSpec(name="RAAC", feature_layer="cnn"),
+    "OH-LSTM": VariantSpec(name="OH-LSTM", use_onehot=True),
+}
+
+
+def variant(name: str) -> VariantSpec:
+    """Look up a variant spec by name (case-insensitive)."""
+    key = name.upper()
+    if key not in VARIANTS:
+        raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}")
+    return VARIANTS[key]
+
+
+def make_model(spec: VariantSpec, base: RAALConfig,
+               use_resource_attention: bool = True) -> RAAL:
+    """Instantiate the model side of a variant."""
+    return RAAL(spec.model_config(base, use_resource_attention))

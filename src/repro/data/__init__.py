@@ -1,0 +1,56 @@
+"""Synthetic database substrate: schemas, data generators, statistics.
+
+Provides size-parameterized stand-ins for the paper's two evaluation
+databases — IMDB/JOB (:func:`build_imdb_catalog`) and TPC-H
+(:func:`build_tpch_catalog`) — with the skew and correlation structure
+that makes cost estimation hard.
+"""
+
+from repro.data.catalog import Catalog, TableData, build_catalog
+from repro.data.generator import (
+    CategoricalString,
+    ColumnGenerator,
+    DerivedInt,
+    ForeignKeyRef,
+    NormalFloat,
+    SerialKey,
+    TableGenerator,
+    UniformInt,
+    ZipfInt,
+)
+from repro.data.imdb import build_imdb_catalog, imdb_generators, imdb_schemas
+from repro.data.schema import Column, DataType, ForeignKey, TableSchema
+from repro.data.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    compute_table_statistics,
+)
+from repro.data.tpch import build_tpch_catalog, tpch_generators, tpch_schemas
+
+__all__ = [
+    "Catalog",
+    "TableData",
+    "build_catalog",
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "TableSchema",
+    "ColumnGenerator",
+    "SerialKey",
+    "UniformInt",
+    "ZipfInt",
+    "NormalFloat",
+    "CategoricalString",
+    "ForeignKeyRef",
+    "DerivedInt",
+    "TableGenerator",
+    "ColumnStatistics",
+    "TableStatistics",
+    "compute_table_statistics",
+    "build_imdb_catalog",
+    "imdb_schemas",
+    "imdb_generators",
+    "build_tpch_catalog",
+    "tpch_schemas",
+    "tpch_generators",
+]

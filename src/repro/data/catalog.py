@@ -1,0 +1,123 @@
+"""The catalog: schemas + generated data + statistics for one database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.generator import TableGenerator
+from repro.data.schema import TableSchema
+from repro.data.statistics import TableStatistics, compute_table_statistics
+from repro.errors import CatalogError
+
+__all__ = ["TableData", "Catalog", "build_catalog"]
+
+
+@dataclass
+class TableData:
+    """Materialized columnar data for one table."""
+
+    schema: TableSchema
+    columns: dict[str, np.ndarray]
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one column's array."""
+        if name not in self.columns:
+            raise CatalogError(f"table {self.schema.name!r} has no column {name!r}")
+        return self.columns[name]
+
+
+class Catalog:
+    """Name → (schema, data, statistics) registry for a database.
+
+    The catalog is what the SQL analyzer, the cardinality estimator, the
+    execution engine, and the GPSJ baseline all consult.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tables: dict[str, TableData] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, schema: TableSchema, columns: dict[str, np.ndarray]) -> None:
+        """Add a table with its data; statistics are computed eagerly."""
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already registered")
+        missing = set(schema.column_names) - set(columns)
+        if missing:
+            raise CatalogError(f"table {schema.name!r} data missing columns {sorted(missing)}")
+        self._tables[schema.name] = TableData(schema=schema, columns=columns)
+        self._statistics[schema.name] = compute_table_statistics(schema, columns)
+
+    # -- lookup -----------------------------------------------------------
+    @property
+    def table_names(self) -> list[str]:
+        """All registered table names, sorted."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def table(self, name: str) -> TableData:
+        """Return the data for a table."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def schema(self, name: str) -> TableSchema:
+        """Return the schema of a table."""
+        return self.table(name).schema
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Return the statistics of a table."""
+        if name not in self._statistics:
+            raise CatalogError(f"no statistics for table {name!r}")
+        return self._statistics[name]
+
+    def resolve_column(self, column: str, tables: list[str]) -> str:
+        """Find which of ``tables`` owns ``column``; raises if ambiguous."""
+        owners = [t for t in tables if self.schema(t).has_column(column)]
+        if not owners:
+            raise CatalogError(f"column {column!r} not found in tables {tables}")
+        if len(owners) > 1:
+            raise CatalogError(f"column {column!r} is ambiguous across {owners}")
+        return owners[0]
+
+    def total_rows(self) -> int:
+        """Sum of row counts across all tables."""
+        return sum(t.row_count for t in self._tables.values())
+
+
+def build_catalog(
+    name: str,
+    schemas: list[TableSchema],
+    generators: list[TableGenerator],
+    seed: int = 0,
+) -> Catalog:
+    """Generate every table (in dependency order) and register it.
+
+    ``generators`` must be ordered so that foreign-key parents precede
+    children; the JOB/TPC-H factories in :mod:`repro.data.imdb` and
+    :mod:`repro.data.tpch` take care of that.
+    """
+    by_name = {s.name: s for s in schemas}
+    rng = np.random.default_rng(seed)
+    catalog = Catalog(name)
+    produced: dict[str, dict[str, np.ndarray]] = {}
+    for gen in generators:
+        if gen.table not in by_name:
+            raise CatalogError(f"generator for unknown table {gen.table!r}")
+        columns = gen.generate(rng, produced)
+        produced[gen.table] = columns
+        catalog.register(by_name[gen.table], columns)
+    return catalog

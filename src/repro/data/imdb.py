@@ -1,0 +1,313 @@
+"""A synthetic stand-in for the IMDB / Join Order Benchmark database.
+
+The paper evaluates on the 7.2 GB IMDB dataset (22 tables, JOB
+extension). We reproduce the JOB schema — movie fact tables with
+skewed, correlated foreign keys and string dimensions — with a
+size-parameterized generator. Row counts scale linearly with ``scale``;
+``scale=1.0`` produces a laptop-sized database (~150k total rows) that
+keeps the same *relative* table sizes and skew structure as IMDB.
+"""
+
+from __future__ import annotations
+
+
+from repro.data.catalog import Catalog, build_catalog
+from repro.data.generator import (
+    CategoricalString,
+    DerivedInt,
+    ForeignKeyRef,
+    SerialKey,
+    TableGenerator,
+    UniformInt,
+    ZipfInt,
+)
+from repro.data.schema import Column, DataType, ForeignKey, TableSchema
+
+__all__ = ["imdb_schemas", "imdb_generators", "build_imdb_catalog", "IMDB_BASE_ROWS"]
+
+_I = DataType.INT
+_S = DataType.STRING
+
+# Relative sizes mirror IMDB: cast_info and movie_info dominate, the
+# dimension tables are tiny.
+IMDB_BASE_ROWS = {
+    "kind_type": 7,
+    "company_type": 4,
+    "info_type": 113,
+    "link_type": 18,
+    "role_type": 12,
+    "comp_cast_type": 4,
+    "keyword": 1500,
+    "company_name": 2500,
+    "name": 8000,
+    "char_name": 6000,
+    "title": 20000,
+    "aka_title": 3000,
+    "aka_name": 2500,
+    "movie_companies": 26000,
+    "movie_keyword": 45000,
+    "movie_info": 50000,
+    "movie_info_idx": 14000,
+    "movie_link": 3000,
+    "cast_info": 62000,
+    "person_info": 30000,
+    "complete_cast": 1300,
+}
+
+_GENRES = ["action", "comedy", "drama", "documentary", "horror", "thriller",
+           "romance", "animation", "crime", "adventure", "fantasy", "mystery"]
+_COUNTRIES = ["us", "uk", "fr", "de", "jp", "it", "in", "cn", "ca", "au", "es", "kr"]
+_KIND_NAMES = ["movie", "tv series", "tv movie", "video movie", "tv mini series",
+               "video game", "episode"]
+_COMPANY_KINDS = ["production companies", "distributors", "special effects companies",
+                  "miscellaneous companies"]
+_INFO_WORDS = ["budget", "genres", "rating", "votes", "runtimes", "languages",
+               "countries", "color", "sound", "release", "gross", "locations"]
+
+
+def imdb_schemas() -> list[TableSchema]:
+    """Schemas of the 21 JOB relations (simplified column sets)."""
+    return [
+        TableSchema("kind_type", [Column("id", _I), Column("kind", _S)], primary_key="id"),
+        TableSchema("company_type", [Column("id", _I), Column("kind", _S)], primary_key="id"),
+        TableSchema("info_type", [Column("id", _I), Column("info", _S)], primary_key="id"),
+        TableSchema("link_type", [Column("id", _I), Column("link", _S)], primary_key="id"),
+        TableSchema("role_type", [Column("id", _I), Column("role", _S)], primary_key="id"),
+        TableSchema("comp_cast_type", [Column("id", _I), Column("kind", _S)], primary_key="id"),
+        TableSchema("keyword", [Column("id", _I), Column("keyword", _S),
+                                Column("phonetic_code", _I)], primary_key="id"),
+        TableSchema("company_name", [Column("id", _I), Column("name", _S),
+                                     Column("country_code", _S)], primary_key="id"),
+        TableSchema("name", [Column("id", _I), Column("name", _S),
+                             Column("gender", _S), Column("imdb_index", _I)], primary_key="id"),
+        TableSchema("char_name", [Column("id", _I), Column("name", _S)], primary_key="id"),
+        TableSchema(
+            "title",
+            [Column("id", _I), Column("title", _S), Column("kind_id", _I),
+             Column("production_year", _I), Column("imdb_index", _I),
+             Column("season_nr", _I), Column("episode_nr", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("kind_id", "kind_type", "id")],
+        ),
+        TableSchema(
+            "aka_title",
+            [Column("id", _I), Column("movie_id", _I), Column("title", _S),
+             Column("kind_id", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("kind_id", "kind_type", "id")],
+        ),
+        TableSchema(
+            "aka_name",
+            [Column("id", _I), Column("person_id", _I), Column("name", _S)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("person_id", "name", "id")],
+        ),
+        TableSchema(
+            "movie_companies",
+            [Column("id", _I), Column("movie_id", _I), Column("company_id", _I),
+             Column("company_type_id", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("company_id", "company_name", "id"),
+                          ForeignKey("company_type_id", "company_type", "id")],
+        ),
+        TableSchema(
+            "movie_keyword",
+            [Column("id", _I), Column("movie_id", _I), Column("keyword_id", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("keyword_id", "keyword", "id")],
+        ),
+        TableSchema(
+            "movie_info",
+            [Column("id", _I), Column("movie_id", _I), Column("info_type_id", _I),
+             Column("info", _S)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("info_type_id", "info_type", "id")],
+        ),
+        TableSchema(
+            "movie_info_idx",
+            [Column("id", _I), Column("movie_id", _I), Column("info_type_id", _I),
+             Column("info", _S)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("info_type_id", "info_type", "id")],
+        ),
+        TableSchema(
+            "movie_link",
+            [Column("id", _I), Column("movie_id", _I), Column("linked_movie_id", _I),
+             Column("link_type_id", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("linked_movie_id", "title", "id"),
+                          ForeignKey("link_type_id", "link_type", "id")],
+        ),
+        TableSchema(
+            "cast_info",
+            [Column("id", _I), Column("movie_id", _I), Column("person_id", _I),
+             Column("person_role_id", _I), Column("role_id", _I), Column("nr_order", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("person_id", "name", "id"),
+                          ForeignKey("person_role_id", "char_name", "id"),
+                          ForeignKey("role_id", "role_type", "id")],
+        ),
+        TableSchema(
+            "person_info",
+            [Column("id", _I), Column("person_id", _I), Column("info_type_id", _I),
+             Column("info", _S)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("person_id", "name", "id"),
+                          ForeignKey("info_type_id", "info_type", "id")],
+        ),
+        TableSchema(
+            "complete_cast",
+            [Column("id", _I), Column("movie_id", _I), Column("subject_id", _I),
+             Column("status_id", _I)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("movie_id", "title", "id"),
+                          ForeignKey("subject_id", "comp_cast_type", "id"),
+                          ForeignKey("status_id", "comp_cast_type", "id")],
+        ),
+    ]
+
+
+def _rows(table: str, scale: float) -> int:
+    return max(int(IMDB_BASE_ROWS[table] * scale), 2)
+
+
+def imdb_generators(scale: float = 1.0) -> list[TableGenerator]:
+    """Table generators in dependency order (parents before children)."""
+    n_title = _rows("title", scale)
+    n_keyword = _rows("keyword", scale)
+    n_company = _rows("company_name", scale)
+    n_name = _rows("name", scale)
+    n_char = _rows("char_name", scale)
+
+    def dim(table: str, label_col: str, values: list[str]) -> TableGenerator:
+        return TableGenerator(table, _rows(table, scale), {
+            "id": SerialKey(),
+            label_col: CategoricalString(values),
+        })
+
+    return [
+        dim("kind_type", "kind", _KIND_NAMES),
+        dim("company_type", "kind", _COMPANY_KINDS),
+        TableGenerator("info_type", _rows("info_type", scale), {
+            "id": SerialKey(),
+            "info": CategoricalString(_INFO_WORDS),
+        }),
+        dim("link_type", "link", ["follows", "followed by", "remake of", "remade as",
+                                  "references", "referenced in", "spoofs", "spoofed in"]),
+        dim("role_type", "role", ["actor", "actress", "producer", "writer", "director",
+                                  "composer", "editor", "cinematographer"]),
+        dim("comp_cast_type", "kind", ["cast", "crew", "complete", "complete+verified"]),
+        TableGenerator("keyword", n_keyword, {
+            "id": SerialKey(),
+            "keyword": CategoricalString([f"kw_{i}" for i in range(min(n_keyword, 400))], skew=0.7),
+            "phonetic_code": UniformInt(1, 9999),
+        }),
+        TableGenerator("company_name", n_company, {
+            "id": SerialKey(),
+            "name": CategoricalString([f"studio_{i}" for i in range(min(n_company, 300))], skew=0.5),
+            "country_code": CategoricalString(_COUNTRIES, skew=1.1),
+        }),
+        TableGenerator("name", n_name, {
+            "id": SerialKey(),
+            "name": CategoricalString([f"person_{i}" for i in range(min(n_name, 500))]),
+            "gender": CategoricalString(["m", "f"], skew=0.3),
+            "imdb_index": UniformInt(1, 40, nullable_fraction=0.3),
+        }),
+        TableGenerator("char_name", n_char, {
+            "id": SerialKey(),
+            "name": CategoricalString([f"char_{i}" for i in range(min(n_char, 400))]),
+        }),
+        TableGenerator("title", n_title, {
+            "id": SerialKey(),
+            "title": CategoricalString(_GENRES),  # proxy labels; real titles irrelevant
+            "kind_id": ZipfInt(len(_KIND_NAMES), skew=1.3),
+            # production_year correlates with id (newer movies get larger ids),
+            # the kind of correlation that breaks independence assumptions.
+            "production_year": DerivedInt(
+                "id",
+                transform=lambda ids: 1900 + 120.0 * (ids / max(ids.max(), 1.0)),
+                noise=12.0, low=1880, high=2022,
+            ),
+            "imdb_index": UniformInt(1, 30, nullable_fraction=0.5),
+            "season_nr": UniformInt(1, 30, nullable_fraction=0.8),
+            "episode_nr": UniformInt(1, 500, nullable_fraction=0.8),
+        }),
+        TableGenerator("aka_title", _rows("aka_title", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=1.0),
+            "title": CategoricalString(_GENRES),
+            "kind_id": ZipfInt(len(_KIND_NAMES), skew=1.3),
+        }),
+        TableGenerator("aka_name", _rows("aka_name", scale), {
+            "id": SerialKey(),
+            "person_id": ForeignKeyRef("name", "id", skew=1.0),
+            "name": CategoricalString([f"alias_{i}" for i in range(200)]),
+        }),
+        TableGenerator("movie_companies", _rows("movie_companies", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.7),
+            "company_id": ForeignKeyRef("company_name", "id", skew=1.1),
+            "company_type_id": ZipfInt(len(_COMPANY_KINDS), skew=0.9),
+        }),
+        TableGenerator("movie_keyword", _rows("movie_keyword", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.8),
+            "keyword_id": ForeignKeyRef("keyword", "id", skew=1.0),
+        }),
+        TableGenerator("movie_info", _rows("movie_info", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.6),
+            "info_type_id": ZipfInt(max(_rows("info_type", scale), 2), skew=1.0),
+            "info": CategoricalString([f"info_{i}" for i in range(300)], skew=0.8),
+        }),
+        TableGenerator("movie_info_idx", _rows("movie_info_idx", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.5),
+            "info_type_id": ZipfInt(max(_rows("info_type", scale), 2), skew=1.2),
+            "info": CategoricalString([f"rank_{i}" for i in range(100)]),
+        }),
+        TableGenerator("movie_link", _rows("movie_link", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.9),
+            "linked_movie_id": ForeignKeyRef("title", "id", skew=0.9),
+            "link_type_id": UniformInt(1, _rows("link_type", scale)),
+        }),
+        TableGenerator("cast_info", _rows("cast_info", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.8),
+            "person_id": ForeignKeyRef("name", "id", skew=1.0),
+            "person_role_id": ForeignKeyRef("char_name", "id", skew=0.9,
+                                            nullable_fraction=0.3),
+            "role_id": ZipfInt(8, skew=1.0),
+            "nr_order": UniformInt(1, 100, nullable_fraction=0.4),
+        }),
+        TableGenerator("person_info", _rows("person_info", scale), {
+            "id": SerialKey(),
+            "person_id": ForeignKeyRef("name", "id", skew=1.1),
+            "info_type_id": ZipfInt(max(_rows("info_type", scale), 2), skew=1.0),
+            "info": CategoricalString([f"bio_{i}" for i in range(150)]),
+        }),
+        TableGenerator("complete_cast", _rows("complete_cast", scale), {
+            "id": SerialKey(),
+            "movie_id": ForeignKeyRef("title", "id", skew=0.6),
+            "subject_id": UniformInt(1, 4),
+            "status_id": UniformInt(1, 4),
+        }),
+    ]
+
+
+def build_imdb_catalog(scale: float = 0.1, seed: int = 7) -> Catalog:
+    """Build the synthetic IMDB catalog at the given scale.
+
+    ``scale=0.1`` (default) generates ~28k total rows — large enough for
+    skew/correlation effects, small enough for fast tests. Benchmarks
+    use larger scales.
+    """
+    return build_catalog("imdb", imdb_schemas(), imdb_generators(scale), seed=seed)

@@ -1,0 +1,103 @@
+"""Relational schema objects: data types, columns, tables, foreign keys.
+
+These are deliberately lightweight descriptions — actual data lives in
+:class:`repro.data.catalog.TableData` as numpy column arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+__all__ = ["DataType", "Column", "ForeignKey", "TableSchema"]
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether comparison predicates like ``<`` use numeric order."""
+        return self in (DataType.INT, DataType.FLOAT)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    dtype:
+        One of :class:`DataType`.
+    nullable:
+        Whether the generator may emit NULLs (represented as ``nan`` for
+        floats, ``-1`` sentinel for ints, ``None`` for strings).
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.dtype.value}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge ``table.column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table: columns, primary key, and foreign keys."""
+
+    name: str
+    columns: list[Column]
+    primary_key: str | None = None
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise CatalogError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise CatalogError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise CatalogError(
+                    f"foreign key column {fk.column!r} is not a column of {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns in declaration order."""
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with this name exists."""
+        return any(c.name == name for c in self.columns)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"{self.name}({cols})"

@@ -1,0 +1,21 @@
+"""Feature encoding: node semantics, plan structure, resources."""
+
+from repro.encoding.node_semantic import NodeSemanticEncoder, build_statement_corpus
+from repro.encoding.onehot import OPERATOR_VOCABULARY, OneHotOperatorEncoder
+from repro.encoding.plan_encoder import (
+    EXTRA_FEATURE_NAMES,
+    EncodedPlan,
+    PlanEncoder,
+)
+from repro.encoding.structure import StructureEncoder
+
+__all__ = [
+    "NodeSemanticEncoder",
+    "build_statement_corpus",
+    "OneHotOperatorEncoder",
+    "OPERATOR_VOCABULARY",
+    "StructureEncoder",
+    "PlanEncoder",
+    "EncodedPlan",
+    "EXTRA_FEATURE_NAMES",
+]

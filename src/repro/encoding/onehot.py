@@ -1,0 +1,61 @@
+"""One-hot operator encoding (paper Table II).
+
+The paper discusses — and rejects — one-hot encoding for node
+semantics; we implement it both as the fallback the paper compares
+against (an extra ablation bench) and as a component of the operator
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.plan.physical import PhysicalNode
+
+__all__ = ["OPERATOR_VOCABULARY", "OneHotOperatorEncoder"]
+
+#: Canonical operator order (superset of the paper's Table II).
+OPERATOR_VOCABULARY = [
+    "FileScan",
+    "Filter",
+    "Project",
+    "Sort",
+    "SortMergeJoin",
+    "BroadcastHashJoin",
+    "BroadcastNestedLoopJoin",
+    "HashAggregate",
+    "SortAggregate",
+    "ExchangeSinglePartition",
+    "ExchangeHashPartition",
+    "BroadcastExchange",
+    "Limit",
+]
+
+
+class OneHotOperatorEncoder:
+    """Encodes a physical operator as a one-hot vector over op names."""
+
+    def __init__(self, vocabulary: list[str] | None = None) -> None:
+        self.vocabulary = list(vocabulary or OPERATOR_VOCABULARY)
+        self._index = {name: i for i, name in enumerate(self.vocabulary)}
+        if len(self._index) != len(self.vocabulary):
+            raise EncodingError("duplicate operator names in vocabulary")
+
+    @property
+    def dim(self) -> int:
+        """Length of the one-hot vectors."""
+        return len(self.vocabulary)
+
+    def encode_name(self, op_name: str) -> np.ndarray:
+        """One-hot vector for an operator name."""
+        if op_name not in self._index:
+            raise EncodingError(
+                f"unknown operator {op_name!r}; known: {self.vocabulary}")
+        vec = np.zeros(self.dim)
+        vec[self._index[op_name]] = 1.0
+        return vec
+
+    def encode_node(self, node: PhysicalNode) -> np.ndarray:
+        """One-hot vector for a physical plan node."""
+        return self.encode_name(node.op_name)

@@ -1,0 +1,179 @@
+"""End-to-end plan encoding: (plan, resources) → model-ready arrays.
+
+Combines the node-semantic embedding, the structure embedding, the
+normalized resource vector (eq. 1), and plan-level statistical extras
+into one :class:`EncodedPlan`. This is the feature-encoding phase of
+the paper's Fig. 3 pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.resources import ResourceProfile
+from repro.encoding.node_semantic import NodeSemanticEncoder
+from repro.encoding.onehot import OneHotOperatorEncoder
+from repro.encoding.structure import StructureEncoder
+from repro.errors import EncodingError
+from repro.plan.physical import PhysicalPlan
+from repro.text.word2vec import Word2VecConfig
+
+__all__ = ["EncodedPlan", "PlanEncoder", "EXTRA_FEATURE_NAMES"]
+
+EXTRA_FEATURE_NAMES = [
+    "log_est_result_rows",
+    "log_est_total_bytes",
+    "num_nodes_frac",
+    "num_joins_frac",
+    "plan_depth_frac",
+]
+
+_LOG_ROWS_CAP = math.log1p(1e9)
+_LOG_BYTES_CAP = math.log1p(1e12)
+_JOIN_OPS = {"SortMergeJoin", "BroadcastHashJoin", "BroadcastNestedLoopJoin"}
+
+
+@dataclass
+class EncodedPlan:
+    """Model-ready representation of one (plan, resources) sample.
+
+    Attributes
+    ----------
+    node_features:
+        ``(n_nodes, feature_dim)``: semantic ‖ structure vectors, in
+        execution order.
+    child_mask:
+        Boolean ``(n_nodes, n_nodes)`` child adjacency for node-aware
+        attention.
+    resources:
+        Normalized resource vector (eq. 1).
+    extras:
+        Plan-level statistical features (cardinality etc.).
+    """
+
+    node_features: np.ndarray
+    child_mask: np.ndarray
+    resources: np.ndarray
+    extras: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of plan operators encoded."""
+        return self.node_features.shape[0]
+
+
+class PlanEncoder:
+    """Encodes physical plans for the deep cost models.
+
+    Parameters
+    ----------
+    semantic:
+        Trained node-semantic encoder (word2vec based). When ``None``
+        together with ``use_onehot=True``, nodes are encoded with the
+        Table II one-hot scheme instead (for the ablation).
+    structure:
+        Structure encoder; pass ``None`` with ``use_structure=False``
+        to drop structure features (the NE-LSTM ablation).
+    """
+
+    def __init__(
+        self,
+        semantic: NodeSemanticEncoder | None = None,
+        structure: StructureEncoder | None = None,
+        use_structure: bool = True,
+        use_onehot: bool = False,
+    ) -> None:
+        if semantic is None and not use_onehot:
+            raise EncodingError("need a semantic encoder or use_onehot=True")
+        self.semantic = semantic
+        self.use_onehot = use_onehot
+        self._onehot = OneHotOperatorEncoder() if use_onehot else None
+        self.use_structure = use_structure
+        self.structure = structure or (StructureEncoder() if use_structure else None)
+
+    @classmethod
+    def fit(cls, plans: list[PhysicalPlan],
+            word2vec_config: Word2VecConfig | None = None,
+            max_nodes: int = 48,
+            use_structure: bool = True,
+            use_onehot: bool = False) -> "PlanEncoder":
+        """Fit the word2vec semantic encoder on a workload's plans."""
+        semantic = None
+        if not use_onehot:
+            semantic = NodeSemanticEncoder.fit(plans, config=word2vec_config)
+        return cls(
+            semantic=semantic,
+            structure=StructureEncoder(max_nodes=max_nodes),
+            use_structure=use_structure,
+            use_onehot=use_onehot,
+        )
+
+    @property
+    def node_dim(self) -> int:
+        """Per-node feature length after concatenation."""
+        base = self._onehot.dim if self.use_onehot else self.semantic.dim
+        if self.use_structure:
+            base += self.structure.dim
+        return base
+
+    @property
+    def extras_dim(self) -> int:
+        """Number of plan-level extra features."""
+        return len(EXTRA_FEATURE_NAMES)
+
+    # -- encoding ------------------------------------------------------------
+    def _semantic_matrix(self, plan: PhysicalPlan) -> np.ndarray:
+        if self.use_onehot:
+            return np.stack([self._onehot.encode_node(n) for n in plan.nodes()])
+        return self.semantic.encode_plan_nodes(plan)
+
+    def _plan_extras(self, plan: PhysicalPlan) -> np.ndarray:
+        nodes = plan.nodes()
+        est_result = max(plan.root.est_rows, 0.0)
+        est_bytes = sum(max(n.est_bytes, 0.0) for n in nodes)
+        num_joins = sum(1 for n in nodes if n.op_name in _JOIN_OPS)
+
+        def depth(node) -> int:
+            if not node.children:
+                return 1
+            return 1 + max(depth(c) for c in node.children)
+
+        max_nodes = self.structure.max_nodes if self.structure else 48
+        return np.array([
+            math.log1p(est_result) / _LOG_ROWS_CAP,
+            math.log1p(est_bytes) / _LOG_BYTES_CAP,
+            len(nodes) / max_nodes,
+            num_joins / 8.0,
+            depth(plan.root) / max_nodes,
+        ])
+
+    def encode(self, plan: PhysicalPlan, resources: ResourceProfile) -> EncodedPlan:
+        """Encode one (plan, resource state) pair.
+
+        Without structure features (the NE-LSTM ablation) the model must
+        not receive edge information through any channel, so the
+        attention child mask degrades to "every other node" — plain
+        self-attention with no tree knowledge.
+        """
+        semantic = self._semantic_matrix(plan)
+        if self.use_structure:
+            structure = self.structure.encode_plan(plan)
+            node_features = np.concatenate([semantic, structure], axis=1)
+            child_mask = self.structure.child_mask(plan)
+        else:
+            node_features = semantic
+            n = plan.num_nodes
+            child_mask = ~np.eye(n, dtype=bool)
+        return EncodedPlan(
+            node_features=node_features,
+            child_mask=child_mask,
+            resources=resources.as_features(),
+            extras=self._plan_extras(plan),
+        )
+
+    def encode_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]]) -> list[EncodedPlan]:
+        """Encode a list of (plan, resources) pairs."""
+        return [self.encode(plan, res) for plan, res in pairs]

@@ -1,0 +1,62 @@
+"""Plan-structure (edge) embedding (paper Sec. IV-C, Fig. 4).
+
+Nodes are sorted in execution order; node ``v_i``'s structure vector
+has ``+1`` at the positions of its children and ``-1`` at the position
+of its parent ("disposing of v3 and v6 as 1 and v8 as -1 is the
+structure vector of node v7"). The resulting edge-embedding matrix
+captures the out-degree/in-degree relationships of the plan DAG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.plan.physical import PhysicalPlan
+
+__all__ = ["StructureEncoder"]
+
+
+class StructureEncoder:
+    """Encodes plan-tree connectivity as per-node ±1 vectors.
+
+    Parameters
+    ----------
+    max_nodes:
+        Fixed width of the structure vectors (plans are padded to this
+        many node slots; larger plans are rejected).
+    """
+
+    def __init__(self, max_nodes: int = 48) -> None:
+        if max_nodes < 1:
+            raise EncodingError("max_nodes must be positive")
+        self.max_nodes = max_nodes
+
+    @property
+    def dim(self) -> int:
+        """Per-node structure vector length."""
+        return self.max_nodes
+
+    def encode_plan(self, plan: PhysicalPlan) -> np.ndarray:
+        """Edge embedding matrix ``(n_nodes, max_nodes)``."""
+        nodes = plan.nodes()
+        n = len(nodes)
+        if n > self.max_nodes:
+            raise EncodingError(
+                f"plan has {n} nodes, exceeding max_nodes={self.max_nodes}")
+        matrix = np.zeros((n, self.max_nodes))
+        for child_idx, parent_idx in plan.edges():
+            matrix[parent_idx, child_idx] = 1.0    # my children: +1
+            matrix[child_idx, parent_idx] = -1.0   # my parent:  -1
+        return matrix
+
+    def child_mask(self, plan: PhysicalPlan) -> np.ndarray:
+        """Boolean ``(n, n)``: ``mask[i, j]`` = node j is a child of i.
+
+        Consumed by the node-aware attention layer (eq. 8).
+        """
+        n = plan.num_nodes
+        mask = np.zeros((n, n), dtype=bool)
+        for child_idx, parent_idx in plan.edges():
+            mask[parent_idx, child_idx] = True
+        return mask

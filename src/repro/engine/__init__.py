@@ -1,0 +1,10 @@
+"""Columnar execution engine: runs physical plans on catalog data.
+
+Produces query results and per-operator observed cardinalities, which
+the cluster simulator converts into resource-dependent runtimes.
+"""
+
+from repro.engine.executor import execute_plan
+from repro.engine.relation import Relation, group_codes, join_indices
+
+__all__ = ["execute_plan", "Relation", "join_indices", "group_codes"]

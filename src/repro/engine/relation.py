@@ -1,0 +1,148 @@
+"""Columnar relations and vectorized join/group primitives.
+
+The execution engine operates on :class:`Relation` objects — ordered
+dicts of alias-qualified column arrays — using numpy throughout. NULL
+is ``nan`` in numeric columns and ``None`` in string (object) columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlanError, SimulationError
+
+__all__ = ["Relation", "join_indices", "group_codes", "MAX_JOIN_PAIRS"]
+
+MAX_JOIN_PAIRS = 8_000_000  # guard against runaway fan-out/cross joins
+
+
+@dataclass
+class Relation:
+    """A batch of rows as named column arrays (all the same length)."""
+
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise PlanError(f"inconsistent column lengths: {sorted(lengths)}")
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (0 for a column-less relation)."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Fetch one column by its qualified name (``alias.column``)."""
+        if name not in self.columns:
+            raise PlanError(f"relation has no column {name!r}; has {sorted(self.columns)}")
+        return self.columns[name]
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Row subset/reorder by integer indices."""
+        return Relation({name: arr[indices] for name, arr in self.columns.items()})
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Row subset by boolean mask."""
+        return Relation({name: arr[mask] for name, arr in self.columns.items()})
+
+    def select(self, names: list[str]) -> "Relation":
+        """Column subset (keeps the given order)."""
+        return Relation({name: self.column(name) for name in names})
+
+    def merge(self, other: "Relation") -> "Relation":
+        """Side-by-side concatenation of equal-length relations."""
+        if self.columns and other.columns and self.num_rows != other.num_rows:
+            raise PlanError(
+                f"cannot merge relations of {self.num_rows} and {other.num_rows} rows"
+            )
+        merged = dict(self.columns)
+        for name, arr in other.columns.items():
+            if name in merged:
+                raise PlanError(f"duplicate column {name!r} in merge")
+            merged[name] = arr
+        return Relation(merged)
+
+    def estimated_bytes(self) -> float:
+        """Approximate in-memory size (8 B numerics, 24 B strings)."""
+        total = 0.0
+        for arr in self.columns.values():
+            per_value = 24.0 if arr.dtype == object else 8.0
+            total += per_value * len(arr)
+        return total
+
+
+def _valid_key_mask(keys: np.ndarray) -> np.ndarray:
+    if keys.dtype == object:
+        return np.array([v is not None for v in keys], dtype=bool)
+    return ~np.isnan(keys)
+
+
+def join_indices(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All (left_idx, right_idx) pairs with equal, non-NULL keys.
+
+    Sort-merge style: O(n log n) with fully vectorized pair expansion.
+    """
+    lmask = _valid_key_mask(left_keys)
+    rmask = _valid_key_mask(right_keys)
+    l_idx = np.flatnonzero(lmask)
+    r_idx = np.flatnonzero(rmask)
+    if len(l_idx) == 0 or len(r_idx) == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    lk = left_keys[l_idx]
+    rk = right_keys[r_idx]
+    if lk.dtype == object or rk.dtype == object:
+        lk = lk.astype(str)
+        rk = rk.astype(str)
+    order = np.argsort(rk, kind="stable")
+    rk_sorted = rk[order]
+    lo = np.searchsorted(rk_sorted, lk, side="left")
+    hi = np.searchsorted(rk_sorted, lk, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total > MAX_JOIN_PAIRS:
+        raise SimulationError(
+            f"join would produce {total} pairs (limit {MAX_JOIN_PAIRS}); "
+            "reduce the data scale or add selective predicates"
+        )
+    if total == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    left_out = np.repeat(np.arange(len(lk)), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    right_sorted_pos = starts + offsets
+    right_out = order[right_sorted_pos]
+    return l_idx[left_out], r_idx[right_out]
+
+
+def group_codes(key_columns: list[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Dense group ids for a composite key.
+
+    Returns ``(codes, num_groups)`` where ``codes[i]`` identifies the
+    group of row ``i``. NULLs form their own group per column (SQL GROUP
+    BY treats NULLs as equal).
+    """
+    if not key_columns:
+        raise PlanError("group_codes() requires at least one key column")
+    combined = np.zeros(len(key_columns[0]), dtype=np.int64)
+    for col in key_columns:
+        if col.dtype == object:
+            proxy = np.array(["\0NULL" if v is None else str(v) for v in col])
+        else:
+            proxy = np.where(np.isnan(col), np.inf, col)
+        _, inverse = np.unique(proxy, return_inverse=True)
+        span = int(inverse.max()) + 1 if len(inverse) else 1
+        combined = combined * span + inverse
+        # Re-densify so the code space stays small across many keys.
+        _, combined = np.unique(combined, return_inverse=True)
+    num_groups = int(combined.max()) + 1 if len(combined) else 0
+    return combined, num_groups

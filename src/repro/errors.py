@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AutogradError(ReproError):
+    """Raised for invalid autograd operations (e.g. backward on non-scalar)."""
+
+
+class ShapeError(AutogradError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class TokenizeError(SQLError):
+    """Raised when the SQL tokenizer encounters an invalid character."""
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser encounters invalid syntax."""
+
+
+class AnalysisError(SQLError):
+    """Raised when a parsed query references unknown tables or columns."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog inconsistencies (unknown table, duplicate name)."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical or physical plan is malformed."""
+
+
+class SimulationError(ReproError):
+    """Raised when the cluster simulator is given an invalid configuration."""
+
+
+class ResourceError(SimulationError):
+    """Raised for invalid resource profiles (e.g. zero executors)."""
+
+
+class EncodingError(ReproError):
+    """Raised when a plan or resource vector cannot be encoded."""
+
+
+class VocabularyError(EncodingError):
+    """Raised for vocabulary lookups of unknown tokens in strict mode."""
+
+
+class TrainingError(ReproError):
+    """Raised for invalid training configurations or diverging training."""
+
+
+class DatasetError(ReproError):
+    """Raised for invalid dataset manipulations (e.g. empty split)."""

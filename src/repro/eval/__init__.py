@@ -1,0 +1,27 @@
+"""Evaluation: paper metrics, experiment harness, text reporting."""
+
+from repro.eval.analysis import ErrorBreakdown, EvaluatedRecord, analyze_errors
+from repro.eval.metrics import (
+    Metrics,
+    compute_metrics,
+    correlation,
+    mean_squared_error,
+    r_squared,
+    relative_error,
+)
+from repro.eval.reporting import render_scatter_summary, render_series, render_table
+
+__all__ = [
+    "Metrics",
+    "compute_metrics",
+    "relative_error",
+    "mean_squared_error",
+    "correlation",
+    "r_squared",
+    "render_table",
+    "render_series",
+    "render_scatter_summary",
+    "analyze_errors",
+    "ErrorBreakdown",
+    "EvaluatedRecord",
+]

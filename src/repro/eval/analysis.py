@@ -1,0 +1,137 @@
+"""Error analysis: slice prediction quality by query/plan/resource facets.
+
+The paper reports aggregate metrics; practitioners additionally need to
+know *where* a cost model is weak. This module slices a set of
+evaluated records by join count, plan size, actual-cost magnitude, and
+executor memory, computing the paper's metrics per slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.eval.metrics import Metrics, compute_metrics
+from repro.eval.reporting import render_table
+from repro.workload.collection import PlanRecord
+
+__all__ = ["EvaluatedRecord", "ErrorBreakdown", "analyze_errors"]
+
+_JOIN_OPS = {"SortMergeJoin", "BroadcastHashJoin", "BroadcastNestedLoopJoin"}
+
+
+@dataclass
+class EvaluatedRecord:
+    """A plan record with its model prediction attached."""
+
+    record: PlanRecord
+    predicted_seconds: float
+
+    @property
+    def actual_seconds(self) -> float:
+        """Ground-truth cost."""
+        return self.record.cost_seconds
+
+    @property
+    def num_joins(self) -> int:
+        """Join operators in the plan."""
+        return sum(1 for n in self.record.plan.nodes() if n.op_name in _JOIN_OPS)
+
+    @property
+    def num_nodes(self) -> int:
+        """Operators in the plan."""
+        return self.record.plan.num_nodes
+
+    @property
+    def memory_gb(self) -> float:
+        """Executor memory of the record's resource state."""
+        return self.record.resources.executor_memory_gb
+
+
+@dataclass
+class ErrorBreakdown:
+    """Per-facet metric slices."""
+
+    overall: Metrics
+    by_joins: dict[int, Metrics]
+    by_plan_size: dict[str, Metrics]
+    by_cost_magnitude: dict[str, Metrics]
+    by_memory: dict[float, Metrics]
+
+    def render(self) -> str:
+        """Multi-table text rendering of the breakdown."""
+        blocks = [render_table(
+            "Overall", ["RE", "MSE", "COR", "R2"],
+            [[self.overall.re, self.overall.mse, self.overall.cor, self.overall.r2]])]
+
+        def table(title: str, slices: dict) -> str:
+            rows = [[key, m.re, m.mse, m.cor, m.r2]
+                    for key, m in sorted(slices.items(), key=lambda kv: str(kv[0]))]
+            return render_table(title, ["slice", "RE", "MSE", "COR", "R2"], rows)
+
+        blocks.append(table("By join count", self.by_joins))
+        blocks.append(table("By plan size (operators)", self.by_plan_size))
+        blocks.append(table("By actual-cost magnitude", self.by_cost_magnitude))
+        blocks.append(table("By executor memory (GB)", self.by_memory))
+        return "\n\n".join(blocks)
+
+
+def _metrics_of(evaluated: list[EvaluatedRecord]) -> Metrics:
+    actual = np.array([e.actual_seconds for e in evaluated])
+    predicted = np.array([e.predicted_seconds for e in evaluated])
+    return compute_metrics(actual, predicted)
+
+
+def _slice_by(evaluated: list[EvaluatedRecord], key_fn, min_size: int = 3) -> dict:
+    groups: dict = {}
+    for item in evaluated:
+        groups.setdefault(key_fn(item), []).append(item)
+    return {key: _metrics_of(items)
+            for key, items in groups.items() if len(items) >= min_size}
+
+
+def analyze_errors(records: list[PlanRecord], predictions) -> ErrorBreakdown:
+    """Compute the error breakdown for predicted records.
+
+    Parameters
+    ----------
+    records:
+        Evaluated plan records (typically a test split).
+    predictions:
+        Predicted costs in seconds, aligned with ``records``.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    if len(records) != len(predictions):
+        raise DatasetError(
+            f"{len(records)} records but {len(predictions)} predictions")
+    if len(records) == 0:
+        raise DatasetError("cannot analyze zero records")
+    evaluated = [EvaluatedRecord(r, float(p)) for r, p in zip(records, predictions)]
+
+    def size_bucket(item: EvaluatedRecord) -> str:
+        n = item.num_nodes
+        if n <= 6:
+            return "small (<=6)"
+        if n <= 12:
+            return "medium (7-12)"
+        return "large (>12)"
+
+    costs = np.array([e.actual_seconds for e in evaluated])
+    lo, hi = np.quantile(costs, [1 / 3, 2 / 3])
+
+    def cost_bucket(item: EvaluatedRecord) -> str:
+        if item.actual_seconds <= lo:
+            return f"cheap (<= {lo:.1f}s)"
+        if item.actual_seconds <= hi:
+            return f"mid ({lo:.1f}-{hi:.1f}s)"
+        return f"expensive (> {hi:.1f}s)"
+
+    return ErrorBreakdown(
+        overall=_metrics_of(evaluated),
+        by_joins=_slice_by(evaluated, lambda e: e.num_joins),
+        by_plan_size=_slice_by(evaluated, size_bucket),
+        by_cost_magnitude=_slice_by(evaluated, cost_bucket),
+        by_memory=_slice_by(evaluated, lambda e: e.memory_gb),
+    )

@@ -1,0 +1,96 @@
+"""Evaluation metrics (paper eqs. 12-15): RE, MSE, COR, R².
+
+``MSE`` is computed in the model's training space (log1p seconds) so
+its magnitude is comparable to the paper's reported values (which
+"stabilise below 1"); ``RE``, ``COR`` and ``R²`` are scale-free and
+computed on raw seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["Metrics", "relative_error", "mean_squared_error", "correlation",
+           "r_squared", "compute_metrics"]
+
+
+def _validate(actual: np.ndarray, estimated: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if actual.shape != estimated.shape:
+        raise DatasetError(
+            f"shape mismatch: actual {actual.shape} vs estimated {estimated.shape}")
+    if actual.size == 0:
+        raise DatasetError("cannot compute metrics on empty arrays")
+    return actual, estimated
+
+
+def relative_error(actual: np.ndarray, estimated: np.ndarray) -> float:
+    """Mean relative error |ac - es| / ac (paper eq. 12)."""
+    actual, estimated = _validate(actual, estimated)
+    denom = np.maximum(np.abs(actual), 1e-9)
+    return float(np.mean(np.abs(actual - estimated) / denom))
+
+
+def mean_squared_error(actual: np.ndarray, estimated: np.ndarray,
+                       log_space: bool = True) -> float:
+    """MSE (paper eq. 13); in log1p space by default (see module doc)."""
+    actual, estimated = _validate(actual, estimated)
+    if log_space:
+        actual = np.log1p(np.maximum(actual, 0.0))
+        estimated = np.log1p(np.maximum(estimated, 0.0))
+    return float(np.mean((actual - estimated) ** 2))
+
+
+def correlation(actual: np.ndarray, estimated: np.ndarray) -> float:
+    """Pearson correlation COR (paper eq. 14); 0 when degenerate."""
+    actual, estimated = _validate(actual, estimated)
+    sa = actual - actual.mean()
+    se = estimated - estimated.mean()
+    denom = np.sqrt((sa ** 2).sum() * (se ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((sa * se).sum() / denom)
+
+
+def r_squared(actual: np.ndarray, estimated: np.ndarray) -> float:
+    """Coefficient of determination R² (paper eq. 15)."""
+    actual, estimated = _validate(actual, estimated)
+    ss_res = ((actual - estimated) ** 2).sum()
+    ss_tot = ((actual - actual.mean()) ** 2).sum()
+    if ss_tot == 0:
+        return 0.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The paper's four-metric bundle for one model/dataset pair."""
+
+    re: float
+    mse: float
+    cor: float
+    r2: float
+
+    def as_row(self) -> dict[str, float]:
+        """Dict form for table rendering."""
+        return {"RE": self.re, "MSE": self.mse, "COR": self.cor, "R2": self.r2}
+
+    def __str__(self) -> str:
+        return (f"RE={self.re:.4f} MSE={self.mse:.4f} "
+                f"COR={self.cor:.4f} R2={self.r2:.4f}")
+
+
+def compute_metrics(actual: np.ndarray, estimated: np.ndarray) -> Metrics:
+    """All four paper metrics at once."""
+    return Metrics(
+        re=relative_error(actual, estimated),
+        mse=mean_squared_error(actual, estimated),
+        cor=correlation(actual, estimated),
+        r2=r_squared(np.log1p(np.maximum(np.asarray(actual, dtype=np.float64), 0.0)),
+                     np.log1p(np.maximum(np.asarray(estimated, dtype=np.float64), 0.0))),
+    )

@@ -1,0 +1,79 @@
+"""Plain-text rendering of result tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and legible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "render_scatter_summary"]
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    header_line = sep.join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(header_line)
+    lines = [title, rule, header_line, rule]
+    for row in str_rows:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float]]) -> str:
+    """A figure-as-table: one x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return render_table(title, headers, rows)
+
+
+def render_scatter_summary(title: str, actual, estimated, bins: int = 5) -> str:
+    """Text summary of an actual-vs-estimated scatter (paper Fig. 7).
+
+    Groups points into actual-cost quantile bins and reports the mean
+    estimate and spread per bin — divergence shows up as wide spreads.
+    """
+    import numpy as np
+
+    actual = np.asarray(actual, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    edges = np.quantile(actual, np.linspace(0, 1, bins + 1))
+    rows = []
+    for i in range(bins):
+        lo, hi = edges[i], edges[i + 1]
+        mask = (actual >= lo) & (actual <= hi if i == bins - 1 else actual < hi)
+        if not mask.any():
+            continue
+        err = np.abs(estimated[mask] - actual[mask]) / np.maximum(actual[mask], 1e-9)
+        rows.append([
+            f"[{lo:.2f}, {hi:.2f}]",
+            int(mask.sum()),
+            f"{actual[mask].mean():.2f}",
+            f"{estimated[mask].mean():.2f}",
+            f"{err.mean():.3f}",
+            f"{err.std():.3f}",
+        ])
+    return render_table(
+        title,
+        ["actual-cost bin (s)", "points", "mean actual", "mean estimate",
+         "mean |rel err|", "spread"],
+        rows,
+    )
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,57 @@
+"""A from-scratch numpy deep-learning framework.
+
+This subpackage replaces PyTorch for the reproduction: reverse-mode
+autograd (:mod:`repro.nn.tensor`), layers (:mod:`repro.nn.layers`),
+the LSTM (:mod:`repro.nn.rnn`), the paper's two attention mechanisms
+(:mod:`repro.nn.attention`), losses, and optimizers.
+"""
+
+from repro.nn.attention import NodeAwareAttention, ResourceAwareAttention
+from repro.nn.layers import (
+    Conv1d,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.loss import huber_loss, mae_loss, mse_loss, q_error
+from repro.nn.optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
+from repro.nn.rnn import LSTM, LSTMCell
+from repro.nn.serialization import load_model, save_model
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Linear",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Conv1d",
+    "LSTM",
+    "LSTMCell",
+    "NodeAwareAttention",
+    "ResourceAwareAttention",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "q_error",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "clip_grad_norm",
+    "save_model",
+    "load_model",
+]

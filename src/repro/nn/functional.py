@@ -1,0 +1,65 @@
+"""Functional helpers shared by models and trainers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+
+__all__ = ["softmax", "log_softmax", "one_hot", "pad_sequences", "masked_mean"]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (delegates to :meth:`Tensor.softmax`)."""
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(ids: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(len(ids), num_classes)`` one-hot float matrix."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= num_classes):
+        raise ShapeError(f"ids out of range [0, {num_classes})")
+    out = np.zeros((ids.size, num_classes))
+    out[np.arange(ids.size), ids.ravel()] = 1.0
+    return out.reshape(*ids.shape, num_classes)
+
+
+def pad_sequences(seqs: list[np.ndarray], max_len: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-pad a list of ``(len_i, dim)`` arrays into one batch.
+
+    Returns ``(padded, mask)`` where ``padded`` has shape
+    ``(batch, max_len, dim)`` and ``mask`` is a boolean ``(batch, max_len)``
+    marking real timesteps.
+    """
+    if not seqs:
+        raise ShapeError("pad_sequences() of an empty list")
+    dims = {s.shape[1] for s in seqs}
+    if len(dims) != 1:
+        raise ShapeError(f"inconsistent feature dims: {sorted(dims)}")
+    dim = dims.pop()
+    longest = max(len(s) for s in seqs)
+    if max_len is None:
+        max_len = longest
+    elif longest > max_len:
+        raise ShapeError(f"sequence of length {longest} exceeds max_len {max_len}")
+    batch = len(seqs)
+    padded = np.zeros((batch, max_len, dim))
+    mask = np.zeros((batch, max_len), dtype=bool)
+    for i, s in enumerate(seqs):
+        padded[i, : len(s)] = s
+        mask[i, : len(s)] = True
+    return padded, mask
+
+
+def masked_mean(x: Tensor, mask: np.ndarray) -> Tensor:
+    """Mean of ``x`` (batch, n, dim) over axis 1 restricted to ``mask``."""
+    weights = mask.astype(np.float64)
+    denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+    return (x * Tensor(weights[:, :, None])).sum(axis=1) * Tensor(1.0 / denom)

@@ -1,0 +1,33 @@
+"""Save/load model parameters to ``.npz`` files.
+
+The format is a plain numpy archive whose keys are the parameter names
+produced by :meth:`repro.nn.layers.Module.named_parameters`, which makes
+checkpoints portable and human-inspectable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write ``model``'s parameters to ``path`` as an ``.npz`` archive."""
+    state = model.state_dict()
+    if not state:
+        raise TrainingError("model has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model`` in place."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

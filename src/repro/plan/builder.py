@@ -1,0 +1,216 @@
+"""Analyzer + logical plan builder (AST → logical plan).
+
+Mirrors Catalyst's analysis phase: resolves aliases against the catalog,
+qualifies bare column references, type-checks predicates, and emits an
+unoptimized logical plan (scans → filters → left-deep joins in FROM
+order → aggregate/sort/limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.data.catalog import Catalog
+from repro.data.schema import DataType
+from repro.errors import AnalysisError
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.sql.ast import (
+    AggregateExpr,
+    AggregateFunc,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    JoinCondition,
+    LikePredicate,
+    OrderItem,
+    SelectStatement,
+)
+
+__all__ = ["AnalyzedQuery", "analyze", "build_logical_plan"]
+
+
+@dataclass
+class AnalyzedQuery:
+    """A validated query with every column reference fully qualified.
+
+    ``alias_to_table`` maps FROM-list names (alias or bare table name)
+    to catalog table names; all predicates/joins below reference columns
+    as ``ColumnRef(column, alias)``.
+    """
+
+    statement: SelectStatement
+    alias_to_table: dict[str, str]
+
+    @property
+    def aliases(self) -> list[str]:
+        """FROM-list names in declaration order."""
+        return [t.name for t in self.statement.tables]
+
+    def table_of(self, alias: str) -> str:
+        """Catalog table name behind an alias."""
+        if alias not in self.alias_to_table:
+            raise AnalysisError(f"unknown table alias {alias!r}")
+        return self.alias_to_table[alias]
+
+
+def _qualify(ref: ColumnRef, alias_to_table: dict[str, str], catalog: Catalog) -> ColumnRef:
+    """Resolve a column reference to a specific FROM-list alias."""
+    if ref.table is not None:
+        if ref.table not in alias_to_table:
+            raise AnalysisError(f"unknown table alias {ref.table!r} in {ref}")
+        table = alias_to_table[ref.table]
+        if not catalog.schema(table).has_column(ref.column):
+            raise AnalysisError(f"table {table!r} has no column {ref.column!r}")
+        return ref
+    owners = [a for a, t in alias_to_table.items()
+              if catalog.schema(t).has_column(ref.column)]
+    if not owners:
+        raise AnalysisError(f"column {ref.column!r} not found in any FROM table")
+    if len(owners) > 1:
+        raise AnalysisError(f"column {ref.column!r} is ambiguous across {sorted(owners)}")
+    return ColumnRef(column=ref.column, table=owners[0])
+
+
+def _check_predicate_type(pred, alias_to_table: dict[str, str], catalog: Catalog) -> None:
+    """Reject type mismatches like numeric comparisons on string columns."""
+    col = pred.column
+    table = alias_to_table[col.table]
+    dtype = catalog.schema(table).column(col.column).dtype
+    if isinstance(pred, Comparison):
+        literal_is_string = pred.value.is_string
+        if literal_is_string != (dtype == DataType.STRING):
+            raise AnalysisError(
+                f"type mismatch: {col} is {dtype.value} but literal is "
+                f"{'string' if literal_is_string else 'numeric'}"
+            )
+    elif isinstance(pred, BetweenPredicate):
+        if dtype == DataType.STRING:
+            raise AnalysisError(f"BETWEEN on string column {col} is not supported")
+    elif isinstance(pred, LikePredicate):
+        if dtype != DataType.STRING:
+            raise AnalysisError(f"LIKE on non-string column {col}")
+
+
+def analyze(statement: SelectStatement, catalog: Catalog) -> AnalyzedQuery:
+    """Validate ``statement`` against ``catalog`` and qualify all columns."""
+    alias_to_table: dict[str, str] = {}
+    for ref in statement.tables:
+        if not catalog.has_table(ref.table):
+            raise AnalysisError(f"unknown table {ref.table!r}")
+        alias_to_table[ref.name] = ref.table
+
+    def fix_col(ref: ColumnRef) -> ColumnRef:
+        return _qualify(ref, alias_to_table, catalog)
+
+    filters = []
+    for pred in statement.filters:
+        pred = replace(pred, column=fix_col(pred.column))
+        _check_predicate_type(pred, alias_to_table, catalog)
+        filters.append(pred)
+
+    joins = []
+    for join in statement.joins:
+        left, right = fix_col(join.left), fix_col(join.right)
+        if left.table == right.table:
+            raise AnalysisError(f"join condition {join} references a single table")
+        joins.append(JoinCondition(left=left, right=right))
+
+    select_items = []
+    for item in statement.select_items:
+        expr = item.expr
+        if isinstance(expr, AggregateExpr):
+            if expr.argument is not None:
+                arg = fix_col(expr.argument)
+                if expr.func != AggregateFunc.COUNT:
+                    table = alias_to_table[arg.table]
+                    dtype = catalog.schema(table).column(arg.column).dtype
+                    if dtype == DataType.STRING and expr.func in (
+                            AggregateFunc.SUM, AggregateFunc.AVG):
+                        raise AnalysisError(f"{expr.func.value}() on string column {arg}")
+                expr = AggregateExpr(expr.func, arg)
+        else:
+            expr = fix_col(expr)
+        select_items.append(replace(item, expr=expr))
+
+    group_by = [fix_col(c) for c in statement.group_by]
+    order_by = [OrderItem(column=fix_col(o.column), descending=o.descending)
+                for o in statement.order_by]
+
+    if statement.has_aggregates:
+        for item in select_items:
+            if isinstance(item.expr, ColumnRef) and item.expr not in group_by:
+                raise AnalysisError(
+                    f"non-aggregated column {item.expr} must appear in GROUP BY"
+                )
+
+    analyzed = SelectStatement(
+        select_items=select_items,
+        tables=list(statement.tables),
+        filters=filters,
+        joins=joins,
+        group_by=group_by,
+        order_by=order_by,
+        limit=statement.limit,
+    )
+    return AnalyzedQuery(statement=analyzed, alias_to_table=alias_to_table)
+
+
+def build_logical_plan(query: AnalyzedQuery) -> LogicalNode:
+    """Lower an analyzed query to an unoptimized logical plan.
+
+    Joins are taken in FROM order (left-deep); the optimizer and the
+    physical enumerator may reorder them later.
+    """
+    stmt = query.statement
+    # One scan (+ its filters) per FROM entry.
+    subplans: dict[str, LogicalNode] = {}
+    for ref in stmt.tables:
+        node: LogicalNode = LogicalScan(table=ref.table, alias=ref.name)
+        preds = [p for p in stmt.filters if p.column.table == ref.name]
+        if preds:
+            node = LogicalFilter(child=node, predicates=preds)
+        subplans[ref.name] = node
+
+    # Left-deep joins in FROM order, picking an applicable condition for
+    # each step; genuinely disconnected tables become cross joins.
+    aliases = query.aliases
+    current = subplans[aliases[0]]
+    joined = {aliases[0]}
+    remaining_conditions = list(stmt.joins)
+    for alias in aliases[1:]:
+        cond = None
+        for jc in remaining_conditions:
+            sides = {jc.left.table, jc.right.table}
+            if alias in sides and (sides - {alias}) <= joined:
+                cond = jc
+                break
+        if cond is not None:
+            remaining_conditions.remove(cond)
+        current = LogicalJoin(left=current, right=subplans[alias], condition=cond)
+        joined.add(alias)
+    # Any leftover conditions become post-join filters... they should not
+    # exist for connected queries; apply them as additional joins merged in.
+    for jc in remaining_conditions:
+        current = LogicalFilter(child=current, predicates=[jc])
+
+    if stmt.has_aggregates or stmt.group_by:
+        aggs = [i.expr for i in stmt.select_items if isinstance(i.expr, AggregateExpr)]
+        current = LogicalAggregate(child=current, group_by=stmt.group_by, aggregates=aggs)
+    else:
+        cols = [i.expr for i in stmt.select_items if isinstance(i.expr, ColumnRef)]
+        current = LogicalProject(child=current, columns=cols)
+
+    if stmt.order_by:
+        current = LogicalSort(child=current, keys=stmt.order_by)
+    if stmt.limit is not None:
+        current = LogicalLimit(child=current, count=stmt.limit)
+    return current

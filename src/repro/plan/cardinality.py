@@ -1,0 +1,133 @@
+"""Statistics-based cardinality estimation (Catalyst-style).
+
+These estimates drive (a) the rule-based "default" plan choice that
+mimics Spark's Catalyst, (b) the GPSJ analytic baseline, and (c) the
+"other features" fed to the learned cost models. They use the textbook
+assumptions (attribute independence, containment of join keys) and are
+therefore *systematically wrong* on skewed/correlated data — which is
+precisely the gap the learned model exploits.
+"""
+
+from __future__ import annotations
+
+from repro.data.catalog import Catalog
+from repro.data.statistics import ColumnStatistics
+from repro.errors import PlanError
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    CompareOp,
+    InPredicate,
+    IsNullPredicate,
+    JoinCondition,
+    LikePredicate,
+)
+
+__all__ = ["CardinalityEstimator", "DEFAULT_LIKE_SELECTIVITY"]
+
+DEFAULT_LIKE_SELECTIVITY = 0.15
+
+
+class CardinalityEstimator:
+    """Estimates selectivities and join sizes from catalog statistics.
+
+    Parameters
+    ----------
+    catalog:
+        Source of table/column statistics.
+    alias_to_table:
+        Maps query aliases to catalog table names.
+    """
+
+    def __init__(self, catalog: Catalog, alias_to_table: dict[str, str]) -> None:
+        self._catalog = catalog
+        self._alias_to_table = alias_to_table
+
+    # -- column statistics lookup -----------------------------------------
+    def column_stats(self, ref: ColumnRef) -> ColumnStatistics:
+        """Statistics for a qualified column reference."""
+        if ref.table is None:
+            raise PlanError(f"column reference {ref} is not qualified")
+        if ref.table not in self._alias_to_table:
+            raise PlanError(f"unknown alias {ref.table!r}")
+        table = self._alias_to_table[ref.table]
+        return self._catalog.statistics(table).column(ref.column)
+
+    def table_rows(self, alias: str) -> float:
+        """Base row count of the table behind ``alias``."""
+        return float(self._catalog.statistics(self._alias_to_table[alias]).row_count)
+
+    def table_bytes(self, alias: str) -> float:
+        """Estimated base size in bytes of the table behind ``alias``."""
+        return float(self._catalog.statistics(self._alias_to_table[alias]).total_bytes)
+
+    def row_width(self, alias: str) -> float:
+        """Average row width in bytes of the table behind ``alias``."""
+        return float(self._catalog.statistics(self._alias_to_table[alias]).avg_row_bytes)
+
+    # -- predicate selectivity ----------------------------------------------
+    def predicate_selectivity(self, pred) -> float:
+        """Estimated selectivity of one filter predicate in [0, 1]."""
+        stats = self.column_stats(pred.column)
+        if isinstance(pred, Comparison):
+            return self._comparison_selectivity(pred, stats)
+        if isinstance(pred, BetweenPredicate):
+            return stats.selectivity_range(float(pred.low.value), float(pred.high.value))
+        if isinstance(pred, InPredicate):
+            sel = sum(stats.selectivity_eq(v.value) for v in pred.values)
+            return min(sel, 1.0)
+        if isinstance(pred, LikePredicate):
+            sel = DEFAULT_LIKE_SELECTIVITY
+            return 1.0 - sel if pred.negated else sel
+        if isinstance(pred, IsNullPredicate):
+            frac = stats.null_fraction
+            return 1.0 - frac if pred.negated else frac
+        raise PlanError(f"cannot estimate selectivity of {type(pred).__name__}")
+
+    def _comparison_selectivity(self, pred: Comparison, stats: ColumnStatistics) -> float:
+        value = pred.value.value
+        if pred.op == CompareOp.EQ:
+            return stats.selectivity_eq(value)
+        if pred.op == CompareOp.NE:
+            return max(0.0, 1.0 - stats.selectivity_eq(value) - stats.null_fraction)
+        if stats.dtype.is_numeric:
+            v = float(value)
+            if pred.op == CompareOp.LT:
+                return stats.selectivity_range(None, v, high_inclusive=False)
+            if pred.op == CompareOp.LE:
+                return stats.selectivity_range(None, v, high_inclusive=True)
+            if pred.op == CompareOp.GT:
+                return stats.selectivity_range(v, None, low_inclusive=False)
+            return stats.selectivity_range(v, None, low_inclusive=True)
+        return 1.0 / 3.0  # string inequality: classic default
+
+    def conjunction_selectivity(self, predicates) -> float:
+        """Independence-assumption product of per-predicate selectivities."""
+        sel = 1.0
+        for pred in predicates:
+            sel *= self.predicate_selectivity(pred)
+        return sel
+
+    # -- join estimation -------------------------------------------------------
+    def join_cardinality(self, left_rows: float, right_rows: float,
+                         condition: JoinCondition | None) -> float:
+        """Classic equi-join estimate ``|L||R| / max(ndv_l, ndv_r)``."""
+        if condition is None:
+            return left_rows * right_rows
+        ndv_l = max(self.column_stats(condition.left).ndv, 1)
+        ndv_r = max(self.column_stats(condition.right).ndv, 1)
+        return (left_rows * right_rows) / max(ndv_l, ndv_r)
+
+    def scan_cardinality(self, alias: str, predicates) -> float:
+        """Rows surviving the pushed-down filters of one scan."""
+        return self.table_rows(alias) * self.conjunction_selectivity(predicates)
+
+    def aggregate_cardinality(self, input_rows: float, group_by) -> float:
+        """Output rows of an aggregation: 1 (global) or bounded NDV product."""
+        if not group_by:
+            return 1.0
+        groups = 1.0
+        for col in group_by:
+            groups *= max(self.column_stats(col).ndv, 1)
+        return min(groups, input_rows)

@@ -1,0 +1,166 @@
+"""Logical plan algebra (the optimizer's intermediate representation).
+
+A logical plan is a tree of relational operators produced from a parsed
+:class:`~repro.sql.ast.SelectStatement` by :mod:`repro.plan.builder`,
+rewritten by :mod:`repro.plan.optimizer`, and lowered to physical plans
+by :mod:`repro.plan.enumerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast import (
+    AggregateExpr,
+    ColumnRef,
+    JoinCondition,
+    OrderItem,
+)
+
+__all__ = [
+    "LogicalNode",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalProject",
+    "LogicalJoin",
+    "LogicalAggregate",
+    "LogicalSort",
+    "LogicalLimit",
+]
+
+
+@dataclass
+class LogicalNode:
+    """Base class for logical operators."""
+
+    @property
+    def children(self) -> list["LogicalNode"]:
+        """Child operators (overridden by subclasses)."""
+        return []
+
+    def tables(self) -> set[str]:
+        """Set of table names (aliases) this subtree produces."""
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.tables()
+        return out
+
+    def describe(self, indent: int = 0) -> str:
+        """Multi-line, indented plan rendering (EXPLAIN-style)."""
+        lines = ["  " * indent + str(self)]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class LogicalScan(LogicalNode):
+    """Base-table scan. ``alias`` is how the query refers to the table."""
+
+    table: str
+    alias: str
+    columns: list[str] = field(default_factory=list)
+
+    def tables(self) -> set[str]:
+        return {self.alias}
+
+    def __str__(self) -> str:
+        cols = f" [{', '.join(self.columns)}]" if self.columns else ""
+        return f"Scan {self.table} as {self.alias}{cols}"
+
+
+@dataclass
+class LogicalFilter(LogicalNode):
+    """Conjunctive single-table filter."""
+
+    child: LogicalNode
+    predicates: list = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def __str__(self) -> str:
+        return "Filter " + " and ".join(str(p) for p in self.predicates)
+
+
+@dataclass
+class LogicalProject(LogicalNode):
+    """Column projection."""
+
+    child: LogicalNode
+    columns: list[ColumnRef] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def __str__(self) -> str:
+        return "Project " + ", ".join(str(c) for c in self.columns)
+
+
+@dataclass
+class LogicalJoin(LogicalNode):
+    """Inner equi-join of two subtrees."""
+
+    left: LogicalNode
+    right: LogicalNode
+    condition: JoinCondition | None = None  # None = cross join
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.left, self.right]
+
+    def __str__(self) -> str:
+        cond = f" on {self.condition}" if self.condition else " (cross)"
+        return f"Join{cond}"
+
+
+@dataclass
+class LogicalAggregate(LogicalNode):
+    """Grouped or global aggregation."""
+
+    child: LogicalNode
+    group_by: list[ColumnRef] = field(default_factory=list)
+    aggregates: list[AggregateExpr] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def __str__(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        if self.group_by:
+            keys = ", ".join(str(c) for c in self.group_by)
+            return f"Aggregate [{keys}] [{aggs}]"
+        return f"Aggregate [{aggs}]"
+
+
+@dataclass
+class LogicalSort(LogicalNode):
+    """ORDER BY."""
+
+    child: LogicalNode
+    keys: list[OrderItem] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def __str__(self) -> str:
+        return "Sort " + ", ".join(str(k) for k in self.keys)
+
+
+@dataclass
+class LogicalLimit(LogicalNode):
+    """LIMIT n."""
+
+    child: LogicalNode
+    count: int = 0
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+    def __str__(self) -> str:
+        return f"Limit {self.count}"

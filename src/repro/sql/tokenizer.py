@@ -1,0 +1,155 @@
+"""SQL tokenizer for the GPSJ query subset.
+
+Produces a flat token stream consumed by the recursive-descent parser
+in :mod:`repro.sql.parser`. Keywords are case-insensitive; identifiers
+are lower-cased (Spark SQL is case-insensitive by default).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "as", "group", "by",
+    "order", "limit", "count", "sum", "avg", "min", "max", "distinct",
+    "in", "like", "between", "is", "null", "asc", "desc",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"     # = <> != < <= > >=
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+_OPERATOR_STARTS = "=<>!"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":  # line comment
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "-" and i + 1 < n and (sql[i + 1].isdigit() or sql[i + 1] == "."):
+            # Unary minus on a numeric literal. Valid only where a value
+            # can appear (after an operator/keyword/'('/','), so "a-5"
+            # stays an error rather than silently parsing as "a (-5)".
+            prev = tokens[-1] if tokens else None
+            value_position = prev is None or prev.type in (
+                TokenType.OPERATOR, TokenType.KEYWORD,
+                TokenType.LPAREN, TokenType.COMMA)
+            if value_position:
+                start = i
+                i += 1
+                seen_dot = False
+                while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                    if sql[i] == ".":
+                        if i + 1 >= n or not sql[i + 1].isdigit():
+                            break
+                        seen_dot = True
+                    i += 1
+                tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+                continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                if sql[i] == ".":
+                    # Distinguish "1.5" from "t.col" — a dot not followed
+                    # by a digit terminates the number.
+                    if i + 1 >= n or not sql[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chars: list[str] = []
+            while i < n:
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                        chars.append("'")
+                        i += 2
+                        continue
+                    break
+                chars.append(sql[i])
+                i += 1
+            if i >= n:
+                raise TokenizeError(f"unterminated string literal at position {start}")
+            i += 1  # closing quote
+            tokens.append(Token(TokenType.STRING, "".join(chars), start))
+            continue
+        if ch in _OPERATOR_STARTS:
+            start = i
+            if sql[i : i + 2] in ("<=", ">=", "<>", "!="):
+                op = sql[i : i + 2]
+                i += 2
+            elif ch in "=<>":
+                op = ch
+                i += 1
+            else:
+                raise TokenizeError(f"unexpected character {ch!r} at position {i}")
+            tokens.append(Token(TokenType.OPERATOR, "<>" if op == "!=" else op, start))
+            continue
+        simple = {
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "*": TokenType.STAR,
+            ";": TokenType.SEMICOLON,
+        }
+        if ch in simple:
+            tokens.append(Token(simple[ch], ch, i))
+            i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

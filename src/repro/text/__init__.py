@@ -1,0 +1,14 @@
+"""Text embedding substrate: statement tokenizer, vocabulary, word2vec."""
+
+from repro.text.tokenize import tokenize_statement, tokenize_statements
+from repro.text.vocab import UNK_TOKEN, Vocabulary
+from repro.text.word2vec import Word2Vec, Word2VecConfig
+
+__all__ = [
+    "tokenize_statement",
+    "tokenize_statements",
+    "Vocabulary",
+    "UNK_TOKEN",
+    "Word2Vec",
+    "Word2VecConfig",
+]

@@ -1,0 +1,75 @@
+"""Tokenizer for physical-plan execution statements.
+
+Turns strings like::
+
+    Filter ((isnotnull(mi.info_type_id) && (mi.info_type_id > 2)))
+
+into word2vec-ready token sequences. Design choices (Sec. IV-C of the
+paper motivates them):
+
+* operators (``&&``, ``>``, ``isnotnull``) and column/table identifiers
+  are tokens — word2vec places co-occurring operators and columns near
+  each other, which one-hot encoding cannot;
+* numeric literals are *bucketized* by order of magnitude
+  (``<num:1e3>``), keeping the vocabulary finite while preserving the
+  scale information of predicate constants;
+* string literals become ``<str>`` plus a length bucket, since their
+  identity rarely transfers across queries.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["tokenize_statement", "tokenize_statements", "NUM_TOKEN_PREFIX"]
+
+NUM_TOKEN_PREFIX = "<num:"
+
+_TOKEN_RE = re.compile(
+    r"""
+    '[^']*'                    # string literal
+    | \d+\.\d+ | \.\d+ | \d+   # number
+    | [a-zA-Z_][\w.]*          # identifier (possibly qualified)
+    | && | \|\| | <= | >= | <> | != | [=<>(),\[\]*]
+    """,
+    re.VERBOSE,
+)
+
+
+def _number_token(text: str) -> str:
+    """Bucketize a numeric literal by order of magnitude."""
+    value = abs(float(text))
+    if value == 0:
+        return f"{NUM_TOKEN_PREFIX}0>"
+    exponent = int(math.floor(math.log10(value)))
+    return f"{NUM_TOKEN_PREFIX}1e{exponent}>"
+
+
+def _string_token(text: str) -> list[str]:
+    """Represent a string literal by a marker plus a length bucket."""
+    body = text[1:-1]
+    bucket = min(len(body) // 4, 8)
+    return ["<str>", f"<len:{bucket}>"]
+
+
+def tokenize_statement(statement: str) -> list[str]:
+    """Tokenize one execution statement into lower-case tokens."""
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(statement):
+        text = match.group(0)
+        if text.startswith("'"):
+            tokens.extend(_string_token(text))
+        elif text[0].isdigit() or text[0] == ".":
+            tokens.append(_number_token(text))
+        else:
+            tokens.append(text.lower())
+    return tokens
+
+
+def tokenize_statements(statements: list[str]) -> list[str]:
+    """Tokenize several statements into one flat token sequence."""
+    out: list[str] = []
+    for statement in statements:
+        out.extend(tokenize_statement(statement))
+    return out

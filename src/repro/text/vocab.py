@@ -1,0 +1,85 @@
+"""Token vocabulary with frequency-based negative-sampling tables."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import VocabularyError
+
+__all__ = ["Vocabulary", "UNK_TOKEN"]
+
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Maps tokens ↔ integer ids; id 0 is always the unknown token.
+
+    Parameters
+    ----------
+    min_count:
+        Tokens seen fewer times are folded into ``<unk>``.
+    """
+
+    def __init__(self, min_count: int = 1) -> None:
+        if min_count < 1:
+            raise VocabularyError(f"min_count must be >= 1, got {min_count}")
+        self.min_count = min_count
+        self._token_to_id: dict[str, int] = {UNK_TOKEN: 0}
+        self._id_to_token: list[str] = [UNK_TOKEN]
+        self._counts: list[int] = [0]
+        self._frozen = False
+
+    # -- construction ------------------------------------------------------
+    def fit(self, sentences: Iterable[list[str]]) -> "Vocabulary":
+        """Build the vocabulary from token sequences and freeze it."""
+        if self._frozen:
+            raise VocabularyError("vocabulary is already fitted")
+        counter: Counter[str] = Counter()
+        for sentence in sentences:
+            counter.update(sentence)
+        for token, count in sorted(counter.items(), key=lambda kv: (-kv[1], kv[0])):
+            if count < self.min_count:
+                self._counts[0] += count
+                continue
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+            self._counts.append(count)
+        self._frozen = True
+        return self
+
+    # -- lookup ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token`` (0 = unknown)."""
+        return self._token_to_id.get(token, 0)
+
+    def token_of(self, token_id: int) -> str:
+        """Token string for an id."""
+        if not 0 <= token_id < len(self._id_to_token):
+            raise VocabularyError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: list[str]) -> np.ndarray:
+        """Vector of ids for a token sequence."""
+        return np.array([self.id_of(t) for t in tokens], dtype=np.int64)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-id raw frequencies."""
+        return np.array(self._counts, dtype=np.float64)
+
+    def negative_sampling_distribution(self, power: float = 0.75) -> np.ndarray:
+        """Unigram^power distribution used to draw negative samples."""
+        if not self._frozen:
+            raise VocabularyError("fit() the vocabulary first")
+        weights = self.counts ** power
+        weights[0] = max(weights[0], 1e-12)  # <unk> can be sampled, rarely
+        return weights / weights.sum()

@@ -1,0 +1,201 @@
+"""Skip-gram word2vec with negative sampling, in plain numpy.
+
+Implements the embedding method of Mikolov et al. that the paper uses
+to encode execution statements (Sec. IV-C). Gradients are computed in
+closed form (no autograd needed), and training is minibatched and fully
+vectorized.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.text.vocab import Vocabulary
+
+__all__ = ["Word2VecConfig", "Word2Vec"]
+
+
+@dataclass(frozen=True)
+class Word2VecConfig:
+    """Hyperparameters for skip-gram training."""
+
+    dim: int = 24
+    window: int = 4
+    negatives: int = 5
+    learning_rate: float = 0.025
+    epochs: int = 3
+    batch_size: int = 512
+    min_count: int = 1
+    seed: int = 0
+
+
+class Word2Vec:
+    """Skip-gram-with-negative-sampling token embeddings.
+
+    >>> model = Word2Vec(Word2VecConfig(dim=16, epochs=2))
+    >>> model.train([["filter", "x", ">", "<num:1e2>"]] * 50)
+    >>> model.vector("filter").shape
+    (16,)
+    """
+
+    def __init__(self, config: Word2VecConfig | None = None) -> None:
+        self.config = config or Word2VecConfig()
+        self.vocab: Vocabulary | None = None
+        self._in_emb: np.ndarray | None = None
+        self._out_emb: np.ndarray | None = None
+
+    # -- training ---------------------------------------------------------
+    def train(self, sentences: Iterable[list[str]]) -> "Word2Vec":
+        """Fit vocabulary and embeddings on token sequences."""
+        sentences = [list(s) for s in sentences if s]
+        if not sentences:
+            raise TrainingError("word2vec requires at least one non-empty sentence")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.vocab = Vocabulary(min_count=cfg.min_count).fit(sentences)
+        vocab_size = len(self.vocab)
+        self._in_emb = rng.uniform(-0.5 / cfg.dim, 0.5 / cfg.dim,
+                                   size=(vocab_size, cfg.dim))
+        self._out_emb = np.zeros((vocab_size, cfg.dim))
+
+        centers, contexts = self._build_pairs(sentences, rng)
+        if len(centers) == 0:
+            # Degenerate corpus (all single-token sentences): keep the
+            # random init, which is still a usable deterministic encoding.
+            return self
+        noise = self.vocab.negative_sampling_distribution()
+        n_pairs = len(centers)
+        lr = cfg.learning_rate
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(n_pairs)
+            for start in range(0, n_pairs, cfg.batch_size):
+                batch = order[start : start + cfg.batch_size]
+                self._sgd_step(centers[batch], contexts[batch], noise, lr, rng)
+            lr = cfg.learning_rate * (1.0 - (epoch + 1) / (cfg.epochs + 1))
+        return self
+
+    def _build_pairs(self, sentences: list[list[str]],
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        centers: list[int] = []
+        contexts: list[int] = []
+        window = self.config.window
+        for sentence in sentences:
+            ids = self.vocab.encode(sentence)
+            n = len(ids)
+            for i in range(n):
+                span = int(rng.integers(1, window + 1))
+                for j in range(max(0, i - span), min(n, i + span + 1)):
+                    if j != i:
+                        centers.append(ids[i])
+                        contexts.append(ids[j])
+        return np.array(centers, dtype=np.int64), np.array(contexts, dtype=np.int64)
+
+    def _sgd_step(self, centers: np.ndarray, contexts: np.ndarray,
+                  noise: np.ndarray, lr: float, rng: np.random.Generator) -> None:
+        cfg = self.config
+        batch = len(centers)
+        negatives = rng.choice(len(noise), size=(batch, cfg.negatives), p=noise)
+        # A sampled "negative" that happens to be the true context (or the
+        # center itself) would fight the positive update and destabilize
+        # training on small vocabularies; mask those samples out.
+        invalid = (negatives == contexts[:, None]) | (negatives == centers[:, None])
+        v = self._in_emb[centers]                     # (B, D)
+        u_pos = self._out_emb[contexts]               # (B, D)
+        u_neg = self._out_emb[negatives]              # (B, K, D)
+
+        pos_score = 1.0 / (1.0 + np.exp(-np.clip((v * u_pos).sum(1), -30, 30)))
+        neg_score = 1.0 / (1.0 + np.exp(-np.clip(
+            np.einsum("bd,bkd->bk", v, u_neg), -30, 30)))
+
+        g_pos = pos_score - 1.0                       # (B,)
+        g_neg = np.where(invalid, 0.0, neg_score)     # (B, K)
+
+        grad_v = g_pos[:, None] * u_pos + np.einsum("bk,bkd->bd", g_neg, u_neg)
+        grad_u_pos = g_pos[:, None] * v
+        grad_u_neg = g_neg[:, :, None] * v[:, None, :]
+
+        np.add.at(self._in_emb, centers, -lr * grad_v)
+        np.add.at(self._out_emb, contexts, -lr * grad_u_pos)
+        np.add.at(self._out_emb, negatives.ravel(),
+                  -lr * grad_u_neg.reshape(-1, cfg.dim))
+
+    # -- lookup ----------------------------------------------------------------
+    def _require_trained(self) -> None:
+        if self._in_emb is None or self.vocab is None:
+            raise TrainingError("word2vec model is not trained")
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self.config.dim
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of one token (the <unk> vector when unseen)."""
+        self._require_trained()
+        return self._in_emb[self.vocab.id_of(token)]
+
+    def encode_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Mean embedding of a token sequence (zeros when empty)."""
+        self._require_trained()
+        if not tokens:
+            return np.zeros(self.config.dim)
+        ids = self.vocab.encode(tokens)
+        return self._in_emb[ids].mean(axis=0)
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens' embeddings."""
+        va, vb = self.vector(a), self.vector(b)
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, token: str, top_k: int = 5) -> list[tuple[str, float]]:
+        """Most cosine-similar vocabulary tokens to ``token``."""
+        self._require_trained()
+        target = self.vector(token)
+        norms = np.linalg.norm(self._in_emb, axis=1) * max(np.linalg.norm(target), 1e-12)
+        scores = self._in_emb @ target / np.maximum(norms, 1e-12)
+        own = self.vocab.id_of(token)
+        scores[own] = -np.inf
+        best = np.argsort(scores)[::-1][:top_k]
+        return [(self.vocab.token_of(int(i)), float(scores[i])) for i in best]
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist embeddings, vocabulary, and config to an ``.npz``."""
+        self._require_trained()
+        tokens = [self.vocab.token_of(i) for i in range(len(self.vocab))]
+        np.savez(
+            path,
+            in_emb=self._in_emb,
+            out_emb=self._out_emb,
+            tokens=np.array(tokens, dtype=object),
+            counts=self.vocab.counts,
+            config=np.array([list(asdict(self.config).items())], dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Word2Vec":
+        """Restore a model saved by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as archive:
+            config = Word2VecConfig(**dict(archive["config"][0]))
+            model = cls(config)
+            tokens = [str(t) for t in archive["tokens"]]
+            counts = archive["counts"]
+            vocab = Vocabulary(min_count=config.min_count)
+            # Rebuild the fitted vocabulary exactly (ids must line up with
+            # the embedding rows, so bypass fit()'s frequency ordering).
+            vocab._token_to_id = {t: i for i, t in enumerate(tokens)}
+            vocab._id_to_token = tokens
+            vocab._counts = [int(c) for c in counts]
+            vocab._frozen = True
+            model.vocab = vocab
+            model._in_emb = archive["in_emb"]
+            model._out_emb = archive["out_emb"]
+        return model

@@ -1,0 +1,25 @@
+"""Workloads: query generation, data collection, dataset splits."""
+
+from repro.workload.collection import CollectionConfig, DataCollector, PlanRecord
+from repro.workload.dataset import SplitRecords, split_by_query
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.templates import (
+    QueryTemplate,
+    job_style_templates,
+    paper_section3_queries,
+    render_template,
+)
+
+__all__ = [
+    "QueryGenerator",
+    "WorkloadConfig",
+    "DataCollector",
+    "CollectionConfig",
+    "PlanRecord",
+    "SplitRecords",
+    "split_by_query",
+    "QueryTemplate",
+    "paper_section3_queries",
+    "job_style_templates",
+    "render_template",
+]

@@ -1,0 +1,50 @@
+"""Train/test splitting of collected records.
+
+The paper randomly places 80% of the available *queries* in the
+training set and tests on the rest — splitting by query, not by record,
+so all plans/resource-states of one query land on the same side (no
+leakage of a test query's plans into training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.workload.collection import PlanRecord
+
+__all__ = ["SplitRecords", "split_by_query"]
+
+
+@dataclass
+class SplitRecords:
+    """Train/test partition of plan records."""
+
+    train: list[PlanRecord]
+    test: list[PlanRecord]
+
+    @property
+    def sizes(self) -> tuple[int, int]:
+        """(train, test) record counts."""
+        return len(self.train), len(self.test)
+
+
+def split_by_query(records: list[PlanRecord], train_fraction: float = 0.8,
+                   seed: int = 0) -> SplitRecords:
+    """Split records 80/20 by *query* (the paper's protocol)."""
+    if not records:
+        raise DatasetError("no records to split")
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    queries = sorted({r.sql for r in records})
+    if len(queries) < 2:
+        raise DatasetError("need at least two distinct queries to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(queries))
+    n_train = max(1, min(len(queries) - 1, int(round(len(queries) * train_fraction))))
+    train_queries = {queries[i] for i in order[:n_train]}
+    train = [r for r in records if r.sql in train_queries]
+    test = [r for r in records if r.sql not in train_queries]
+    return SplitRecords(train=train, test=test)

@@ -1,0 +1,244 @@
+"""Random query generation over a catalog's foreign-key graph.
+
+Mirrors the paper's workloads: "6000 queries with 0-5 joins that
+contain two types of query workloads" — one class with numeric-only
+predicates, one with string predicates. Queries are random walks on
+the schema's FK graph with literal values sampled from the actual
+column statistics, so predicate selectivities span the full range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.catalog import Catalog
+from repro.data.schema import DataType
+from repro.errors import DatasetError, ReproError
+
+__all__ = ["WorkloadConfig", "QueryGenerator"]
+
+_NUMERIC_OPS = ["<", ">", "<=", ">=", "="]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for query generation.
+
+    ``workload`` is ``"numeric"`` (class 1: numeric predicates only),
+    ``"string"`` (class 2: includes string equality/LIKE predicates),
+    or ``"mixed"``.
+    """
+
+    min_joins: int = 0
+    max_joins: int = 5
+    min_predicates: int = 1
+    max_predicates: int = 3
+    workload: str = "mixed"
+    # Queries whose estimated intermediate results exceed this many rows
+    # are regenerated — mirroring how JOB-style benchmarks curate their
+    # queries so joins stay tractable.
+    max_estimated_rows: float = 2e6
+    max_retries: int = 25
+    # Fraction of queries that aggregate per group (GROUP BY a low-NDV
+    # column) instead of a global COUNT(*), exercising the hash-partition
+    # aggregation path.
+    group_by_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("numeric", "string", "mixed"):
+            raise DatasetError(f"unknown workload class {self.workload!r}")
+        if not 0 <= self.min_joins <= self.max_joins:
+            raise DatasetError("invalid join range")
+
+
+class QueryGenerator:
+    """Generates random GPSJ queries against a catalog."""
+
+    def __init__(self, catalog: Catalog, config: WorkloadConfig | None = None,
+                 seed: int = 0) -> None:
+        self.catalog = catalog
+        self.config = config or WorkloadConfig()
+        self._rng = np.random.default_rng(seed)
+        self._edges = self._collect_edges()
+        if not self._edges and self.config.max_joins > 0:
+            raise DatasetError("catalog has no foreign keys to join on")
+
+    def _collect_edges(self) -> list[tuple[str, str, str, str]]:
+        """(table, column, ref_table, ref_column) for every FK."""
+        edges = []
+        for name in self.catalog.table_names:
+            schema = self.catalog.schema(name)
+            for fk in schema.foreign_keys:
+                edges.append((name, fk.column, fk.ref_table, fk.ref_column))
+        return edges
+
+    # -- query assembly ------------------------------------------------------
+    def generate(self, n: int) -> list[str]:
+        """Generate ``n`` SQL strings."""
+        return [self.generate_one() for _ in range(n)]
+
+    def generate_one(self) -> str:
+        """Generate one SQL query whose estimated volumes are tractable.
+
+        Draws candidates until one passes the estimated-cardinality cap
+        (or retries run out, in which case the last candidate is
+        returned and the collector's error handling takes over).
+        """
+        sql = self._draw_query()
+        for _ in range(self.config.max_retries):
+            if self._estimated_rows_ok(sql):
+                return sql
+            sql = self._draw_query()
+        return sql
+
+    def _estimated_rows_ok(self, sql: str) -> bool:
+        from repro.plan.builder import analyze
+        from repro.plan.enumerator import EnumeratorConfig, enumerate_plans
+        from repro.sql.parser import parse
+
+        try:
+            query = analyze(parse(sql), self.catalog)
+            plan = enumerate_plans(
+                query, self.catalog,
+                EnumeratorConfig(max_plans=1, max_join_orders=1,
+                                 include_unpushed_scan_variant=False))[0]
+        except ReproError:
+            return False
+        return all(node.est_rows <= self.config.max_estimated_rows
+                   for node in plan.nodes())
+
+    def _draw_query(self) -> str:
+        """Draw a single SQL query."""
+        rng = self._rng
+        cfg = self.config
+        num_joins = int(rng.integers(cfg.min_joins, cfg.max_joins + 1))
+        tables, join_conds = self._random_join_tree(num_joins)
+        aliases = {table: f"t{i}" for i, table in enumerate(tables)}
+        predicates = self._random_predicates(tables, aliases)
+
+        from_clause = ", ".join(f"{t} {aliases[t]}" for t in tables)
+        conditions = [
+            f"{aliases[lt]}.{lc} = {aliases[rt]}.{rc}"
+            for lt, lc, rt, rc in join_conds
+        ] + predicates
+        group_col = None
+        if rng.random() < cfg.group_by_fraction:
+            group_col = self._group_by_column(tables, aliases)
+        if group_col is not None:
+            sql = f"select {group_col}, count(*) from {from_clause}"
+        else:
+            sql = f"select count(*) from {from_clause}"
+        if conditions:
+            sql += " where " + " and ".join(conditions)
+        if group_col is not None:
+            sql += f" group by {group_col}"
+        return sql
+
+    def _group_by_column(self, tables: list[str], aliases: dict[str, str]) -> str | None:
+        """A low-cardinality numeric column suitable for GROUP BY."""
+        rng = self._rng
+        candidates = []
+        for table in tables:
+            schema = self.catalog.schema(table)
+            stats = self.catalog.statistics(table)
+            for col in schema.columns:
+                if col.dtype == DataType.STRING or col.name == schema.primary_key:
+                    continue
+                ndv = stats.column(col.name).ndv
+                if 2 <= ndv <= 64:
+                    candidates.append(f"{aliases[table]}.{col.name}")
+        if not candidates:
+            return None
+        return str(rng.choice(candidates))
+
+    def _random_join_tree(self, num_joins: int) -> tuple[list[str], list]:
+        rng = self._rng
+        if num_joins == 0:
+            # Favour fact tables for single-table queries (dimension-only
+            # scans are trivial).
+            sizes = {t: self.catalog.table(t).row_count for t in self.catalog.table_names}
+            names = sorted(sizes, key=sizes.get, reverse=True)
+            k = max(1, len(names) // 2)
+            return [str(rng.choice(names[:k]))], []
+        start_edge = self._edges[int(rng.integers(len(self._edges)))]
+        tables = [start_edge[0], start_edge[2]]
+        conds = [start_edge]
+        fanned_in = {start_edge[2]}  # dims already targeted by an FK edge
+        attempts = 0
+        while len(conds) < num_joins and attempts < 50:
+            attempts += 1
+            edge = self._edges[int(rng.integers(len(self._edges)))]
+            table, _, ref_table, _ = edge
+            if table in tables and ref_table in tables:
+                continue
+            if table in tables:
+                tables.append(ref_table)
+                conds.append(edge)
+                fanned_in.add(ref_table)
+            elif ref_table in tables:
+                # A second fact fanning into an already-joined dimension
+                # creates a many-to-many blow-up through that dimension;
+                # real JOB queries avoid it unless the dimension is large
+                # (e.g. `title`). Allow only when the dimension is at
+                # least a tenth of the incoming fact's size.
+                if ref_table in fanned_in:
+                    dim_rows = self.catalog.table(ref_table).row_count
+                    fact_rows = self.catalog.table(table).row_count
+                    if dim_rows < 0.1 * fact_rows:
+                        continue
+                tables.append(table)
+                conds.append(edge)
+                fanned_in.add(ref_table)
+        return tables, [
+            (t, c, rt, rc) for t, c, rt, rc in conds
+        ]
+
+    def _random_predicates(self, tables: list[str], aliases: dict[str, str]) -> list[str]:
+        rng = self._rng
+        cfg = self.config
+        count = int(rng.integers(cfg.min_predicates, cfg.max_predicates + 1))
+        candidates: list[tuple[str, str, DataType]] = []
+        for table in tables:
+            schema = self.catalog.schema(table)
+            for col in schema.columns:
+                if col.name == schema.primary_key:
+                    continue
+                if cfg.workload == "numeric" and col.dtype == DataType.STRING:
+                    continue
+                if cfg.workload == "string" and col.dtype == DataType.STRING:
+                    # String class *includes* strings; numerics stay eligible.
+                    pass
+                candidates.append((table, col.name, col.dtype))
+        if not candidates:
+            return []
+        preds = []
+        chosen = rng.choice(len(candidates), size=min(count, len(candidates)),
+                            replace=False)
+        for idx in chosen:
+            table, column, dtype = candidates[int(idx)]
+            alias = aliases[table]
+            stats = self.catalog.statistics(table).column(column)
+            if dtype == DataType.STRING:
+                if cfg.workload == "numeric" or not stats.top_values:
+                    continue
+                value = str(rng.choice(stats.top_values))
+                if rng.random() < 0.3 and len(value) > 2:
+                    preds.append(f"{alias}.{column} like '{value[: len(value) // 2]}%'")
+                else:
+                    preds.append(f"{alias}.{column} = '{value}'")
+                continue
+            if stats.min_value is None or stats.max_value is None:
+                continue
+            op = str(rng.choice(_NUMERIC_OPS))
+            span = stats.max_value - stats.min_value
+            value = stats.min_value + rng.random() * max(span, 1.0)
+            if op == "=":
+                # Equality on a sampled *existing* value keeps selectivity sane.
+                if stats.top_values:
+                    value = float(rng.choice(stats.top_values))
+                else:
+                    value = float(np.round(value))
+            preds.append(f"{alias}.{column} {op} {value:.6g}")
+        return preds

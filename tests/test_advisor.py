@@ -1,0 +1,102 @@
+"""Tests for the resource advisor (cost model run in reverse)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationPrice,
+    CostPredictor,
+    ResourceAdvisor,
+    default_profile_grid,
+)
+from repro.cluster import ResourceProfile
+from repro.errors import PlanError
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+@pytest.fixture(scope="module")
+def advisor(pipeline):
+    trained = pipeline.train_variant("RAAL", epochs=5)
+    return ResourceAdvisor(CostPredictor(trained.encoder, trained.trainer))
+
+
+@pytest.fixture(scope="module")
+def plans(pipeline):
+    return pipeline.collector.plans_for(pipeline.queries[0])
+
+
+class TestAllocationPrice:
+    def test_hourly_price_scales_with_resources(self):
+        price = AllocationPrice()
+        small = ResourceProfile(executors=1, executor_cores=1, executor_memory_gb=1.0)
+        big = ResourceProfile(executors=4, executor_cores=4, executor_memory_gb=6.0)
+        assert price.hourly(big) > price.hourly(small)
+
+    def test_known_value(self):
+        price = AllocationPrice(per_core_hour=1.0, per_gb_hour=0.5)
+        profile = ResourceProfile(executors=2, executor_cores=2, executor_memory_gb=4.0)
+        assert price.hourly(profile) == pytest.approx(4 * 1.0 + 8 * 0.5)
+
+
+class TestProfileGrid:
+    def test_grid_size_and_validity(self):
+        grid = default_profile_grid()
+        assert len(grid) == 4 * 3 * 4
+        assert all(p.executors >= 1 for p in grid)
+
+    def test_grid_inherits_base_throughputs(self):
+        base = ResourceProfile(network_throughput_mbps=999.0)
+        grid = default_profile_grid(base)
+        assert all(p.network_throughput_mbps == 999.0 for p in grid)
+
+
+class TestAdvisor:
+    def test_sla_recommendation_meets_sla(self, advisor, plans):
+        rec = advisor.cheapest_meeting_sla(plans, sla_seconds=1e9)
+        assert rec is not None
+        assert rec.predicted_seconds <= 1e9
+        assert rec.plan in plans
+
+    def test_impossible_sla_returns_none(self, advisor, plans):
+        assert advisor.cheapest_meeting_sla(plans, sla_seconds=1e-6) is None
+
+    def test_tighter_sla_never_cheaper(self, advisor, plans):
+        loose = advisor.cheapest_meeting_sla(plans, sla_seconds=1e9)
+        costs = advisor.predictor.predict_many(
+            [(plans[0], p) for p in default_profile_grid()])
+        mid_sla = float(np.median(costs))
+        tight = advisor.cheapest_meeting_sla(plans, sla_seconds=mid_sla)
+        if tight is not None:
+            assert tight.hourly_price >= loose.hourly_price - 1e-9
+
+    def test_budget_recommendation_within_budget(self, advisor, plans):
+        rec = advisor.fastest_within_budget(plans, max_hourly_price=1e9)
+        assert rec is not None
+        assert rec.hourly_price <= 1e9
+
+    def test_zero_budget_returns_none(self, advisor, plans):
+        assert advisor.fastest_within_budget(plans, max_hourly_price=0.0) is None
+
+    def test_bigger_budget_never_slower(self, advisor, plans):
+        small = advisor.fastest_within_budget(plans, max_hourly_price=0.15)
+        large = advisor.fastest_within_budget(plans, max_hourly_price=10.0)
+        if small is not None and large is not None:
+            assert large.predicted_seconds <= small.predicted_seconds + 1e-9
+
+    def test_empty_plans_rejected(self, advisor):
+        with pytest.raises(PlanError):
+            advisor.cheapest_meeting_sla([], sla_seconds=10)
+
+    def test_empty_profiles_rejected(self, advisor, plans):
+        with pytest.raises(PlanError):
+            advisor.cheapest_meeting_sla(plans, sla_seconds=10, profiles=[])
+
+    def test_predicted_cost_dollars(self, advisor, plans):
+        rec = advisor.cheapest_meeting_sla(plans, sla_seconds=1e9)
+        expected = rec.hourly_price * rec.predicted_seconds / 3600.0
+        assert rec.predicted_cost_dollars == pytest.approx(expected)

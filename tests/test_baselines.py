@@ -1,0 +1,136 @@
+"""Tests for the TLSTM and GPSJ baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GPSJCostModel, GPSJParameters, TLSTM, TLSTMConfig, TLSTMTrainer
+from repro.cluster import PAPER_CLUSTER, ResourceProfile
+from repro.core import variant
+from repro.errors import TrainingError
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+@pytest.fixture(scope="module")
+def encoder(pipeline):
+    return pipeline.encoder_for(variant("RAAL"))
+
+
+@pytest.fixture(scope="module")
+def records(pipeline):
+    return pipeline.split.train
+
+
+class TestTLSTM:
+    def test_forward_scalar(self, pipeline, encoder, records):
+        model = TLSTM(TLSTMConfig(node_dim=encoder.node_dim, hidden_size=16))
+        record = records[0]
+        feats = encoder.encode(record.plan, record.resources).node_features
+        out = model(record.plan, feats)
+        assert out.shape == ()
+
+    def test_feature_row_mismatch_rejected(self, encoder, records):
+        model = TLSTM(TLSTMConfig(node_dim=encoder.node_dim))
+        record = records[0]
+        feats = encoder.encode(record.plan, record.resources).node_features
+        with pytest.raises(TrainingError):
+            model(record.plan, feats[:-1])
+
+    def test_training_reduces_loss(self, encoder, records):
+        model = TLSTM(TLSTMConfig(node_dim=encoder.node_dim, hidden_size=16))
+        trainer = TLSTMTrainer(model, epochs=5, seed=0)
+        trainer.fit(records[:40], encoder)
+        assert trainer.train_losses[-1] < trainer.train_losses[0]
+
+    def test_too_few_records_rejected(self, encoder, records):
+        trainer = TLSTMTrainer(TLSTM(TLSTMConfig(node_dim=encoder.node_dim)))
+        with pytest.raises(TrainingError):
+            trainer.fit(records[:1], encoder)
+
+    def test_predictions_nonnegative_finite(self, encoder, records):
+        model = TLSTM(TLSTMConfig(node_dim=encoder.node_dim, hidden_size=16))
+        trainer = TLSTMTrainer(model, epochs=3, seed=0)
+        trainer.fit(records[:30], encoder)
+        preds = trainer.predict_seconds(records[:10], encoder)
+        assert (preds >= 0).all() and np.isfinite(preds).all()
+
+    def test_resource_blindness(self, encoder, records):
+        """TLSTM ignores the resource state by construction: identical
+        plans under different resources get identical estimates (the
+        node features do not include resources)."""
+        from dataclasses import replace
+        model = TLSTM(TLSTMConfig(node_dim=encoder.node_dim, hidden_size=16))
+        trainer = TLSTMTrainer(model, epochs=2, seed=0)
+        trainer.fit(records[:20], encoder)
+        record = records[0]
+        r1 = replace(record, resources=PAPER_CLUSTER.with_memory(1.0))
+        r2 = replace(record, resources=PAPER_CLUSTER.with_memory(6.0))
+        p1 = trainer.predict_seconds([r1], encoder)[0]
+        p2 = trainer.predict_seconds([r2], encoder)[0]
+        assert p1 == pytest.approx(p2)
+
+
+class TestGPSJ:
+    def test_estimate_positive(self, pipeline, records):
+        model = GPSJCostModel(pipeline.catalog)
+        for record in records[:10]:
+            est = model.estimate(record.plan, record.resources)
+            assert est > 0 and np.isfinite(est)
+
+    def test_calibration_improves_scale(self, pipeline, records):
+        model = GPSJCostModel(pipeline.catalog)
+        raw = np.array([model.estimate(r.plan, r.resources) for r in records[:50]])
+        actual = np.array([r.cost_seconds for r in records[:50]])
+        model.calibrate(records[:50])
+        calibrated = np.array([model.estimate(r.plan, r.resources) for r in records[:50]])
+        raw_err = np.median(np.abs(np.log(raw) - np.log(actual)))
+        cal_err = np.median(np.abs(np.log(calibrated) - np.log(actual)))
+        # Tolerance covers even-n median interpolation effects.
+        assert cal_err <= raw_err + 0.01
+
+    def test_calibrate_empty_rejected(self, pipeline):
+        with pytest.raises(TrainingError):
+            GPSJCostModel(pipeline.catalog).calibrate([])
+
+    def test_more_parallelism_cheaper(self, pipeline, records):
+        model = GPSJCostModel(pipeline.catalog)
+        record = records[0]
+        small = model.estimate(record.plan, ResourceProfile(executors=1, executor_cores=1))
+        big = model.estimate(record.plan, ResourceProfile(executors=4, executor_cores=4))
+        assert big < small
+
+    def test_memory_blindness(self, pipeline, records):
+        """GPSJ's linear formulas have no memory term — exactly the
+        weakness the paper attributes to hand-crafted models."""
+        model = GPSJCostModel(pipeline.catalog)
+        record = records[0]
+        lo = model.estimate(record.plan, PAPER_CLUSTER.with_memory(1.0))
+        hi = model.estimate(record.plan, PAPER_CLUSTER.with_memory(6.0))
+        assert lo == pytest.approx(hi)
+
+    def test_uses_estimates_not_observations(self, pipeline, records):
+        """GPSJ must consume optimizer estimates: zeroing observed rows
+        does not change its estimate."""
+        model = GPSJCostModel(pipeline.catalog)
+        record = records[0]
+        before = model.estimate(record.plan, record.resources)
+        saved = [(n, n.obs_rows, n.obs_bytes) for n in record.plan.nodes()]
+        try:
+            for node in record.plan.nodes():
+                node.obs_rows, node.obs_bytes = None, None
+            after = model.estimate(record.plan, record.resources)
+        finally:
+            for node, rows, bytes_ in saved:
+                node.obs_rows, node.obs_bytes = rows, bytes_
+        assert before == pytest.approx(after)
+
+    def test_custom_parameters(self, pipeline, records):
+        cheap = GPSJCostModel(pipeline.catalog, GPSJParameters(cpu_tuple_cost=1e-9))
+        costly = GPSJCostModel(pipeline.catalog, GPSJParameters(cpu_tuple_cost=1e-5))
+        record = records[0]
+        assert cheap.estimate(record.plan, record.resources) < \
+            costly.estimate(record.plan, record.resources)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.dataset == "imdb"
+        assert args.variant == "RAAL"
+        assert not args.no_resource_attention
+
+    def test_train_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_predict_args(self):
+        args = build_parser().parse_args([
+            "predict", "--model", "m", "--sql", "select count(*) from title t",
+            "--memory-gb", "2.5"])
+        assert args.memory_gb == 2.5
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--dataset", "oracle"])
+
+
+class TestCommands:
+    def test_workload_prints_sql(self, capsys):
+        code = main(["workload", "--queries", "3", "--catalog-scale", "0.05",
+                     "--max-joins", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("select count(*)") == 3
+        assert out.strip().endswith(";")
+
+    def test_workload_numeric_class(self, capsys):
+        code = main(["workload", "--queries", "5", "--catalog-scale", "0.05",
+                     "--workload-class", "numeric"])
+        assert code == 0
+        assert "like '" not in capsys.readouterr().out
+
+    def test_experiment_smoke(self, capsys):
+        code = main(["experiment", "--queries", "12", "--epochs", "2",
+                     "--catalog-scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RE" in out and "MSE" in out
+
+    def test_train_then_predict(self, tmp_path, capsys):
+        model_dir = str(tmp_path / "model")
+        code = main(["train", "--queries", "12", "--epochs", "2",
+                     "--catalog-scale", "0.05", "--out", model_dir])
+        assert code == 0
+        code = main([
+            "predict", "--model", model_dir, "--catalog-scale", "0.05",
+            "--sql", "select count(*) from title t where t.kind_id < 3",
+            "--memory-gb", "2.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<-- chosen" in out

@@ -1,0 +1,352 @@
+"""Tests for repro.data: schemas, generators, catalogs, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CategoricalString,
+    Catalog,
+    Column,
+    DataType,
+    DerivedInt,
+    ForeignKey,
+    ForeignKeyRef,
+    NormalFloat,
+    SerialKey,
+    TableGenerator,
+    TableSchema,
+    UniformInt,
+    ZipfInt,
+    build_catalog,
+    build_imdb_catalog,
+    build_tpch_catalog,
+    compute_table_statistics,
+)
+from repro.data.imdb import IMDB_BASE_ROWS, imdb_generators, imdb_schemas
+from repro.data.tpch import TPCH_BASE_ROWS, tpch_schemas
+from repro.errors import CatalogError
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return build_imdb_catalog(scale=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return build_tpch_catalog(scale=0.05, seed=3)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", DataType.INT), Column("a", DataType.INT)])
+
+    def test_bad_primary_key_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", DataType.INT)], primary_key="b")
+
+    def test_bad_foreign_key_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", DataType.INT)],
+                        foreign_keys=[ForeignKey("x", "other", "id")])
+
+    def test_column_lookup(self):
+        schema = TableSchema("t", [Column("a", DataType.INT), Column("b", DataType.STRING)])
+        assert schema.column("b").dtype == DataType.STRING
+        assert schema.has_column("a")
+        assert not schema.has_column("z")
+        with pytest.raises(CatalogError):
+            schema.column("z")
+
+    def test_numeric_dtypes(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_str_forms(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        assert "t(" in str(schema)
+        assert "a int" in str(schema)
+
+
+class TestGenerators:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_serial_key_is_sequential(self):
+        vals = SerialKey(start=5).generate(4, self.rng, {}, {})
+        np.testing.assert_allclose(vals, [5, 6, 7, 8])
+
+    def test_uniform_int_bounds(self):
+        vals = UniformInt(3, 9).generate(1000, self.rng, {}, {})
+        assert vals.min() >= 3 and vals.max() <= 9
+
+    def test_zipf_is_skewed(self):
+        vals = ZipfInt(100, skew=1.5).generate(5000, self.rng, {}, {})
+        counts = np.bincount(vals.astype(int))
+        # The most common value must dominate the 50th most common.
+        assert counts.max() > 10 * counts[counts > 0].min()
+
+    def test_normal_float_clipped(self):
+        vals = NormalFloat(0.0, 10.0, low=-1.0, high=1.0).generate(500, self.rng, {}, {})
+        assert vals.min() >= -1.0 and vals.max() <= 1.0
+
+    def test_categorical_vocab(self):
+        vals = CategoricalString(["x", "y"]).generate(100, self.rng, {}, {})
+        assert set(vals) <= {"x", "y"}
+
+    def test_categorical_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            CategoricalString([]).generate(5, self.rng, {}, {})
+
+    def test_nulls_fraction_numeric(self):
+        vals = UniformInt(0, 10, nullable_fraction=0.5).generate(2000, self.rng, {}, {})
+        frac = np.isnan(vals).mean()
+        assert 0.4 < frac < 0.6
+
+    def test_nulls_fraction_string(self):
+        vals = CategoricalString(["a"], nullable_fraction=0.3).generate(1000, self.rng, {}, {})
+        frac = sum(v is None for v in vals) / len(vals)
+        assert 0.2 < frac < 0.4
+
+    def test_foreign_key_values_subset_of_parent(self):
+        parent = {"p": {"id": np.arange(1.0, 11.0)}}
+        vals = ForeignKeyRef("p", "id", skew=1.0).generate(500, self.rng, {}, parent)
+        assert set(vals) <= set(parent["p"]["id"])
+
+    def test_foreign_key_missing_parent_raises(self):
+        with pytest.raises(CatalogError):
+            ForeignKeyRef("ghost", "id").generate(5, self.rng, {}, {})
+
+    def test_foreign_key_empty_parent_raises(self):
+        with pytest.raises(CatalogError):
+            ForeignKeyRef("p", "id").generate(5, self.rng, {}, {"p": {"id": np.array([])}})
+
+    def test_derived_correlates_with_base(self):
+        context = {"base": np.arange(0.0, 1000.0)}
+        vals = DerivedInt("base", transform=lambda b: 2 * b, noise=5.0).generate(
+            1000, self.rng, context, {})
+        corr = np.corrcoef(context["base"], vals)[0, 1]
+        assert corr > 0.99
+
+    def test_derived_missing_base_raises(self):
+        with pytest.raises(CatalogError):
+            DerivedInt("ghost", transform=lambda b: b).generate(5, self.rng, {}, {})
+
+    def test_table_generator_order_respected(self):
+        gen = TableGenerator("t", 50, {
+            "id": SerialKey(),
+            "twice": DerivedInt("id", transform=lambda b: 2 * b),
+        })
+        cols = gen.generate(self.rng, {})
+        np.testing.assert_allclose(cols["twice"], 2 * cols["id"])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 50), st.floats(0.5, 2.0))
+    def test_property_zipf_in_range(self, n_values, skew):
+        vals = ZipfInt(n_values, skew=skew).generate(200, np.random.default_rng(1), {}, {})
+        assert vals.min() >= 1 and vals.max() <= n_values
+
+
+class TestStatistics:
+    def test_numeric_stats(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        data = {"a": np.array([1.0, 2.0, 2.0, 5.0])}
+        stats = compute_table_statistics(schema, data)
+        col = stats.column("a")
+        assert col.row_count == 4
+        assert col.ndv == 3
+        assert col.min_value == 1.0
+        assert col.max_value == 5.0
+
+    def test_null_counting(self):
+        schema = TableSchema("t", [Column("a", DataType.FLOAT)])
+        data = {"a": np.array([1.0, np.nan, np.nan, 4.0])}
+        stats = compute_table_statistics(schema, data)
+        assert stats.column("a").null_count == 2
+        assert stats.column("a").null_fraction == 0.5
+
+    def test_string_stats_top_values(self):
+        schema = TableSchema("t", [Column("s", DataType.STRING)])
+        data = {"s": np.array(["a", "a", "a", "b", None], dtype=object)}
+        stats = compute_table_statistics(schema, data)
+        col = stats.column("s")
+        assert col.ndv == 2
+        assert col.top_values[0] == "a"
+        assert col.top_counts[0] == 3
+        assert col.null_count == 1
+
+    def test_selectivity_eq_string(self):
+        schema = TableSchema("t", [Column("s", DataType.STRING)])
+        data = {"s": np.array(["a"] * 8 + ["b"] * 2, dtype=object)}
+        stats = compute_table_statistics(schema, data)
+        assert stats.column("s").selectivity_eq("a") == pytest.approx(0.8)
+
+    def test_selectivity_eq_numeric_uses_ndv(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        data = {"a": np.arange(100.0)}
+        stats = compute_table_statistics(schema, data)
+        assert stats.column("a").selectivity_eq(5) == pytest.approx(0.01)
+
+    def test_selectivity_eq_out_of_range_is_zero(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        data = {"a": np.arange(100.0)}
+        stats = compute_table_statistics(schema, data)
+        assert stats.column("a").selectivity_eq(1000) == 0.0
+
+    def test_selectivity_range_uniform(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        data = {"a": np.arange(1000.0)}
+        stats = compute_table_statistics(schema, data)
+        sel = stats.column("a").selectivity_range(0, 499)
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_selectivity_range_respects_skew(self):
+        # 90% of mass at value 1, so range [0, 1.5] should be ~0.9.
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        data = {"a": np.array([1.0] * 900 + list(np.linspace(2, 100, 100)))}
+        stats = compute_table_statistics(schema, data)
+        sel = stats.column("a").selectivity_range(None, 1.5)
+        assert sel > 0.7
+
+    def test_selectivity_empty_range_zero(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        data = {"a": np.arange(10.0)}
+        stats = compute_table_statistics(schema, data)
+        assert stats.column("a").selectivity_range(100, 200) == 0.0
+
+    def test_total_bytes_positive(self, imdb):
+        assert imdb.statistics("title").total_bytes > 0
+
+    def test_missing_column_raises(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        with pytest.raises(CatalogError):
+            compute_table_statistics(schema, {})
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        cat = Catalog("db")
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        cat.register(schema, {"a": np.arange(5.0)})
+        assert cat.has_table("t")
+        assert cat.table("t").row_count == 5
+        assert cat.statistics("t").row_count == 5
+
+    def test_duplicate_registration_rejected(self):
+        cat = Catalog("db")
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        cat.register(schema, {"a": np.arange(5.0)})
+        with pytest.raises(CatalogError):
+            cat.register(schema, {"a": np.arange(5.0)})
+
+    def test_missing_data_column_rejected(self):
+        cat = Catalog("db")
+        schema = TableSchema("t", [Column("a", DataType.INT), Column("b", DataType.INT)])
+        with pytest.raises(CatalogError):
+            cat.register(schema, {"a": np.arange(5.0)})
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog("db").table("ghost")
+
+    def test_resolve_column(self, imdb):
+        owner = imdb.resolve_column("production_year", ["title", "movie_keyword"])
+        assert owner == "title"
+
+    def test_resolve_column_ambiguous(self, imdb):
+        with pytest.raises(CatalogError):
+            imdb.resolve_column("id", ["title", "keyword"])
+
+    def test_resolve_column_missing(self, imdb):
+        with pytest.raises(CatalogError):
+            imdb.resolve_column("ghost_col", ["title"])
+
+
+class TestIMDB:
+    def test_all_job_tables_present(self, imdb):
+        assert set(imdb.table_names) == set(IMDB_BASE_ROWS)
+
+    def test_row_count_ratios(self, imdb):
+        # cast_info must remain the largest fact table after scaling.
+        assert imdb.table("cast_info").row_count > imdb.table("title").row_count
+
+    def test_foreign_keys_valid(self, imdb):
+        titles = set(imdb.table("title").column("id"))
+        mk = imdb.table("movie_keyword").column("movie_id")
+        assert set(mk) <= titles
+
+    def test_title_year_correlated_with_id(self, imdb):
+        t = imdb.table("title")
+        corr = np.corrcoef(t.column("id"), t.column("production_year"))[0, 1]
+        assert corr > 0.8
+
+    def test_kind_id_skewed(self, imdb):
+        kinds = imdb.table("title").column("kind_id").astype(int)
+        counts = np.bincount(kinds)
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+    def test_deterministic_given_seed(self):
+        a = build_imdb_catalog(scale=0.02, seed=9)
+        b = build_imdb_catalog(scale=0.02, seed=9)
+        np.testing.assert_array_equal(
+            a.table("title").column("production_year"),
+            b.table("title").column("production_year"),
+        )
+
+    def test_different_seeds_differ(self):
+        a = build_imdb_catalog(scale=0.02, seed=1)
+        b = build_imdb_catalog(scale=0.02, seed=2)
+        assert not np.array_equal(
+            a.table("movie_keyword").column("keyword_id"),
+            b.table("movie_keyword").column("keyword_id"),
+        )
+
+    def test_schemas_cover_paper_queries(self):
+        # Columns referenced by the paper's four Sec. III queries.
+        names = {s.name: s for s in imdb_schemas()}
+        assert names["movie_keyword"].has_column("keyword_id")
+        assert names["movie_companies"].has_column("company_type_id")
+        assert names["title"].has_column("production_year")
+        assert names["movie_info_idx"].has_column("info_type_id")
+
+    def test_generators_cover_all_schemas(self):
+        gen_tables = {g.table for g in imdb_generators(0.01)}
+        assert gen_tables == {s.name for s in imdb_schemas()}
+
+
+class TestTPCH:
+    def test_all_tables_present(self, tpch):
+        assert set(tpch.table_names) == set(TPCH_BASE_ROWS)
+
+    def test_lineitem_is_largest(self, tpch):
+        sizes = {t: tpch.table(t).row_count for t in tpch.table_names}
+        assert max(sizes, key=sizes.get) == "lineitem"
+
+    def test_lineitem_orders_ratio(self, tpch):
+        ratio = tpch.table("lineitem").row_count / tpch.table("orders").row_count
+        assert 2.0 < ratio < 6.0
+
+    def test_fk_integrity_lineitem_orders(self, tpch):
+        orders = set(tpch.table("orders").column("o_orderkey"))
+        assert set(tpch.table("lineitem").column("l_orderkey")) <= orders
+
+    def test_discount_bounds(self, tpch):
+        d = tpch.table("lineitem").column("l_discount")
+        assert d.min() >= 0.0 and d.max() <= 0.1
+
+    def test_schema_column_counts(self):
+        by_name = {s.name: len(s.columns) for s in tpch_schemas()}
+        assert by_name["lineitem"] == 12
+        assert by_name["region"] == 2
+
+
+class TestBuildCatalog:
+    def test_unknown_generator_table_raises(self):
+        schema = TableSchema("t", [Column("a", DataType.INT)])
+        gen = TableGenerator("ghost", 5, {"a": SerialKey()})
+        with pytest.raises(CatalogError):
+            build_catalog("db", [schema], [gen])

@@ -1,0 +1,203 @@
+"""Tests for repro.encoding: one-hot, semantic, structure, plan encoder."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PAPER_CLUSTER
+from repro.data import build_imdb_catalog
+from repro.encoding import (
+    EXTRA_FEATURE_NAMES,
+    NodeSemanticEncoder,
+    OneHotOperatorEncoder,
+    PlanEncoder,
+    StructureEncoder,
+    build_statement_corpus,
+)
+from repro.errors import EncodingError
+from repro.plan import analyze, enumerate_plans
+from repro.sql import parse
+from repro.text import Word2VecConfig
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_imdb_catalog(scale=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def plans(catalog):
+    sqls = [
+        "select count(*) from movie_keyword mk where mk.keyword_id < 25",
+        """select count(*) from title t, movie_companies mc
+           where t.id = mc.movie_id and mc.company_type_id > 1""",
+        """select count(*) from title t, movie_companies mc, movie_keyword mk
+           where t.id = mc.movie_id and t.id = mk.movie_id
+           and mc.company_id = 4 and mk.keyword_id < 25""",
+    ]
+    out = []
+    for sql in sqls:
+        q = analyze(parse(sql), catalog)
+        out.extend(enumerate_plans(q, catalog)[:4])
+    return out
+
+
+@pytest.fixture(scope="module")
+def encoder(plans):
+    return PlanEncoder.fit(plans, word2vec_config=Word2VecConfig(dim=12, epochs=2))
+
+
+class TestOneHot:
+    def test_dim_matches_vocab(self):
+        enc = OneHotOperatorEncoder()
+        assert enc.dim == len(enc.vocabulary)
+
+    def test_encode_known_operator(self):
+        enc = OneHotOperatorEncoder()
+        vec = enc.encode_name("FileScan")
+        assert vec.sum() == 1.0
+        assert vec[enc.vocabulary.index("FileScan")] == 1.0
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(EncodingError):
+            OneHotOperatorEncoder().encode_name("TeleportJoin")
+
+    def test_duplicate_vocab_rejected(self):
+        with pytest.raises(EncodingError):
+            OneHotOperatorEncoder(["A", "A"])
+
+    def test_encode_plan_nodes(self, plans):
+        enc = OneHotOperatorEncoder()
+        for node in plans[0].nodes():
+            vec = enc.encode_node(node)
+            assert vec.sum() == 1.0
+
+
+class TestSemanticEncoder:
+    def test_corpus_nonempty(self, plans):
+        corpus = build_statement_corpus(plans)
+        assert len(corpus) >= sum(p.num_nodes for p in plans) * 0.9
+
+    def test_fit_and_encode(self, plans):
+        enc = NodeSemanticEncoder.fit(
+            plans, config=Word2VecConfig(dim=8, epochs=1))
+        matrix = enc.encode_plan_nodes(plans[0])
+        assert matrix.shape == (plans[0].num_nodes, enc.dim)
+
+    def test_cardinality_features_appended(self, plans):
+        with_card = NodeSemanticEncoder.fit(
+            plans, config=Word2VecConfig(dim=8, epochs=1), include_cardinality=True)
+        without = NodeSemanticEncoder(with_card.word2vec, include_cardinality=False)
+        assert with_card.dim == without.dim + 2
+
+    def test_untrained_encoder_raises(self, plans):
+        with pytest.raises(EncodingError):
+            NodeSemanticEncoder(None).encode_node(plans[0].root)
+
+    def test_similar_scans_get_similar_vectors(self, plans):
+        enc = NodeSemanticEncoder.fit(
+            plans, config=Word2VecConfig(dim=12, epochs=3),
+            include_cardinality=False)
+        scans = [n for p in plans for n in p.nodes() if n.op_name == "FileScan"]
+        aggs = [n for p in plans for n in p.nodes() if n.op_name == "HashAggregate"]
+        scan_a, scan_b = enc.encode_node(scans[0]), enc.encode_node(scans[1])
+        agg = enc.encode_node(aggs[0])
+
+        def cos(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+
+        assert cos(scan_a, scan_b) > cos(scan_a, agg)
+
+
+class TestStructureEncoder:
+    def test_matrix_shape(self, plans):
+        enc = StructureEncoder(max_nodes=48)
+        mat = enc.encode_plan(plans[0])
+        assert mat.shape == (plans[0].num_nodes, 48)
+
+    def test_child_parent_signs(self, plans):
+        plan = plans[0]
+        enc = StructureEncoder(max_nodes=48)
+        mat = enc.encode_plan(plan)
+        for child_idx, parent_idx in plan.edges():
+            assert mat[parent_idx, child_idx] == 1.0
+            assert mat[child_idx, parent_idx] == -1.0
+
+    def test_root_has_no_parent_marker(self, plans):
+        plan = plans[0]
+        enc = StructureEncoder(max_nodes=48)
+        mat = enc.encode_plan(plan)
+        root_idx = plan.num_nodes - 1  # post-order: root is last
+        assert (mat[root_idx] >= 0).all()
+
+    def test_leaves_have_no_children_markers(self, plans):
+        plan = plans[0]
+        mat = StructureEncoder(max_nodes=48).encode_plan(plan)
+        for i, node in enumerate(plan.nodes()):
+            if not node.children:
+                assert (mat[i] <= 0).all()
+
+    def test_too_large_plan_rejected(self, plans):
+        enc = StructureEncoder(max_nodes=2)
+        with pytest.raises(EncodingError):
+            enc.encode_plan(plans[-1])
+
+    def test_invalid_max_nodes(self):
+        with pytest.raises(EncodingError):
+            StructureEncoder(max_nodes=0)
+
+    def test_child_mask_matches_edges(self, plans):
+        plan = plans[0]
+        mask = StructureEncoder().child_mask(plan)
+        edges = {(p, c) for c, p in plan.edges()}
+        got = {(i, j) for i in range(plan.num_nodes)
+               for j in range(plan.num_nodes) if mask[i, j]}
+        assert got == edges
+
+
+class TestPlanEncoder:
+    def test_encode_shapes(self, encoder, plans):
+        enc = encoder.encode(plans[0], PAPER_CLUSTER)
+        n = plans[0].num_nodes
+        assert enc.node_features.shape == (n, encoder.node_dim)
+        assert enc.child_mask.shape == (n, n)
+        assert enc.resources.shape == (7,)
+        assert enc.extras.shape == (len(EXTRA_FEATURE_NAMES),)
+
+    def test_structure_can_be_disabled(self, encoder, plans):
+        no_struct = PlanEncoder(semantic=encoder.semantic, use_structure=False)
+        enc = no_struct.encode(plans[0], PAPER_CLUSTER)
+        assert enc.node_features.shape[1] == encoder.semantic.dim
+        # Child mask still provided (attention needs it regardless).
+        assert enc.child_mask.shape[0] == plans[0].num_nodes
+
+    def test_onehot_mode(self, plans):
+        enc = PlanEncoder.fit(plans, use_onehot=True)
+        encoded = enc.encode(plans[0], PAPER_CLUSTER)
+        assert encoded.node_features.shape[1] == enc.node_dim
+
+    def test_requires_semantic_or_onehot(self):
+        with pytest.raises(EncodingError):
+            PlanEncoder(semantic=None, use_onehot=False)
+
+    def test_resources_vary_encoding(self, encoder, plans):
+        lo = encoder.encode(plans[0], PAPER_CLUSTER.with_memory(1.0))
+        hi = encoder.encode(plans[0], PAPER_CLUSTER.with_memory(6.0))
+        assert not np.array_equal(lo.resources, hi.resources)
+        np.testing.assert_array_equal(lo.node_features, hi.node_features)
+
+    def test_different_plans_differ(self, encoder, plans):
+        a = encoder.encode(plans[0], PAPER_CLUSTER)
+        b = encoder.encode(plans[-1], PAPER_CLUSTER)
+        assert a.node_features.shape != b.node_features.shape or \
+            not np.array_equal(a.node_features, b.node_features)
+
+    def test_extras_in_unit_range(self, encoder, plans):
+        for plan in plans:
+            extras = encoder.encode(plan, PAPER_CLUSTER).extras
+            assert (extras >= 0).all()
+            assert (extras <= 1.5).all()
+
+    def test_encode_many(self, encoder, plans):
+        pairs = [(p, PAPER_CLUSTER) for p in plans[:3]]
+        out = encoder.encode_many(pairs)
+        assert len(out) == 3

@@ -1,0 +1,259 @@
+"""Tests for the columnar execution engine (repro.engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import build_imdb_catalog
+from repro.engine import Relation, execute_plan, group_codes, join_indices
+from repro.errors import PlanError, SimulationError
+from repro.plan import analyze, default_plan, enumerate_plans
+from repro.sql import parse
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_imdb_catalog(scale=0.05, seed=3)
+
+
+def run_count(catalog, sql: str) -> float:
+    q = analyze(parse(sql), catalog)
+    plan = default_plan(q, catalog)
+    result = execute_plan(plan, catalog)
+    return float(result.column("count(*)")[0])
+
+
+class TestRelation:
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(PlanError):
+            Relation({"a": np.arange(3.0), "b": np.arange(4.0)})
+
+    def test_take_and_filter(self):
+        rel = Relation({"a": np.arange(5.0)})
+        np.testing.assert_allclose(rel.take(np.array([0, 2])).column("a"), [0, 2])
+        np.testing.assert_allclose(
+            rel.filter(rel.column("a") > 2).column("a"), [3, 4])
+
+    def test_merge_duplicate_column_rejected(self):
+        a = Relation({"x": np.arange(2.0)})
+        with pytest.raises(PlanError):
+            a.merge(Relation({"x": np.arange(2.0)}))
+
+    def test_merge_length_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            Relation({"a": np.arange(2.0)}).merge(Relation({"b": np.arange(3.0)}))
+
+    def test_estimated_bytes_counts_strings_wider(self):
+        nums = Relation({"a": np.arange(10.0)})
+        strs = Relation({"s": np.array(["x"] * 10, dtype=object)})
+        assert strs.estimated_bytes() > nums.estimated_bytes()
+
+    def test_missing_column_raises(self):
+        with pytest.raises(PlanError):
+            Relation({"a": np.arange(2.0)}).column("b")
+
+
+class TestJoinIndices:
+    def test_basic_match(self):
+        li, ri = join_indices(np.array([1.0, 2.0, 3.0]), np.array([2.0, 3.0, 4.0]))
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        assert pairs == {(1, 0), (2, 1)}
+
+    def test_duplicates_produce_all_pairs(self):
+        li, ri = join_indices(np.array([1.0, 1.0]), np.array([1.0, 1.0, 1.0]))
+        assert len(li) == 6
+
+    def test_nulls_never_match(self):
+        li, ri = join_indices(np.array([np.nan, 1.0]), np.array([np.nan, 1.0]))
+        assert set(zip(li.tolist(), ri.tolist())) == {(1, 1)}
+
+    def test_empty_inputs(self):
+        li, ri = join_indices(np.array([]), np.array([1.0]))
+        assert len(li) == 0
+
+    def test_no_matches(self):
+        li, ri = join_indices(np.array([1.0]), np.array([2.0]))
+        assert len(li) == 0
+
+    def test_string_keys(self):
+        li, ri = join_indices(np.array(["a", "b", None], dtype=object),
+                              np.array(["b", "c"], dtype=object))
+        assert set(zip(li.tolist(), ri.tolist())) == {(1, 0)}
+
+    def test_pair_limit_enforced(self, monkeypatch):
+        import repro.engine.relation as rel_mod
+        monkeypatch.setattr(rel_mod, "MAX_JOIN_PAIRS", 10)
+        with pytest.raises(SimulationError):
+            join_indices(np.ones(5), np.ones(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 8), min_size=0, max_size=20),
+           st.lists(st.integers(0, 8), min_size=0, max_size=20))
+    def test_property_matches_bruteforce(self, left, right):
+        lk = np.array(left, dtype=np.float64)
+        rk = np.array(right, dtype=np.float64)
+        li, ri = join_indices(lk, rk)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j) for i, lv in enumerate(left) for j, rv in enumerate(right) if lv == rv
+        )
+        assert got == expected
+
+
+class TestGroupCodes:
+    def test_single_key(self):
+        codes, n = group_codes([np.array([5.0, 3.0, 5.0])])
+        assert n == 2
+        assert codes[0] == codes[2] != codes[1]
+
+    def test_composite_key(self):
+        codes, n = group_codes([
+            np.array([1.0, 1.0, 2.0, 2.0]),
+            np.array([1.0, 2.0, 1.0, 1.0]),
+        ])
+        assert n == 3
+        assert codes[2] == codes[3]
+
+    def test_nulls_form_one_group(self):
+        codes, n = group_codes([np.array([np.nan, np.nan, 1.0])])
+        assert n == 2
+        assert codes[0] == codes[1]
+
+    def test_string_keys(self):
+        codes, n = group_codes([np.array(["a", None, "a", None], dtype=object)])
+        assert n == 2
+        assert codes[1] == codes[3]
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(PlanError):
+            group_codes([])
+
+
+class TestExecutePlan:
+    def test_count_matches_numpy_single_table(self, catalog):
+        got = run_count(catalog,
+                        "select count(*) from movie_keyword mk where mk.keyword_id < 25")
+        truth = float((catalog.table("movie_keyword").column("keyword_id") < 25).sum())
+        assert got == truth
+
+    def test_all_plans_agree_two_table(self, catalog):
+        sql = ("select count(*) from title t, movie_companies mc "
+               "where t.id = mc.movie_id and mc.company_type_id > 1")
+        q = analyze(parse(sql), catalog)
+        counts = {float(execute_plan(p, catalog).column("count(*)")[0])
+                  for p in enumerate_plans(q, catalog)}
+        assert len(counts) == 1
+
+    def test_all_plans_agree_three_table(self, catalog):
+        sql = """select count(*) from title t, movie_companies mc, movie_keyword mk
+                 where t.id = mc.movie_id and t.id = mk.movie_id
+                 and mc.company_id < 30 and mk.keyword_id < 40"""
+        q = analyze(parse(sql), catalog)
+        counts = {float(execute_plan(p, catalog).column("count(*)")[0])
+                  for p in enumerate_plans(q, catalog)}
+        assert len(counts) == 1
+
+    def test_join_count_matches_bruteforce(self, catalog):
+        t = catalog.table("title").column("id")
+        mk = catalog.table("movie_keyword")
+        sel = mk.column("keyword_id") < 10
+        fk = mk.column("movie_id")[sel]
+        truth = float(np.isin(fk, t).sum())
+        got = run_count(catalog,
+                        "select count(*) from title t, movie_keyword mk "
+                        "where t.id = mk.movie_id and mk.keyword_id < 10")
+        assert got == truth
+
+    def test_group_by_results(self, catalog):
+        sql = ("select t.kind_id, count(*) from title t "
+               "group by t.kind_id order by t.kind_id")
+        q = analyze(parse(sql), catalog)
+        result = execute_plan(default_plan(q, catalog), catalog)
+        kinds = catalog.table("title").column("kind_id")
+        expected = {float(k): float(c) for k, c in
+                    zip(*np.unique(kinds, return_counts=True))}
+        got = dict(zip(result.column("t.kind_id").tolist(),
+                       result.column("count(*)").tolist()))
+        assert got == expected
+
+    def test_order_by_sorts(self, catalog):
+        sql = ("select t.kind_id, count(*) from title t "
+               "group by t.kind_id order by t.kind_id desc")
+        q = analyze(parse(sql), catalog)
+        result = execute_plan(default_plan(q, catalog), catalog)
+        vals = result.column("t.kind_id")
+        assert all(vals[i] >= vals[i + 1] for i in range(len(vals) - 1))
+
+    def test_limit_truncates(self, catalog):
+        sql = ("select t.kind_id, count(*) from title t "
+               "group by t.kind_id order by t.kind_id limit 3")
+        q = analyze(parse(sql), catalog)
+        result = execute_plan(default_plan(q, catalog), catalog)
+        assert result.num_rows == 3
+
+    def test_sum_avg_min_max(self, catalog):
+        sql = ("select sum(t.production_year), avg(t.production_year), "
+               "min(t.production_year), max(t.production_year) from title t")
+        q = analyze(parse(sql), catalog)
+        result = execute_plan(default_plan(q, catalog), catalog)
+        years = catalog.table("title").column("production_year")
+        assert result.column("sum(t.production_year)")[0] == pytest.approx(years.sum())
+        assert result.column("avg(t.production_year)")[0] == pytest.approx(years.mean())
+        assert result.column("min(t.production_year)")[0] == years.min()
+        assert result.column("max(t.production_year)")[0] == years.max()
+
+    def test_count_column_skips_nulls(self, catalog):
+        sql = "select count(t.season_nr) from title t"
+        q = analyze(parse(sql), catalog)
+        result = execute_plan(default_plan(q, catalog), catalog)
+        seasons = catalog.table("title").column("season_nr")
+        assert result.column("count(t.season_nr)")[0] == float((~np.isnan(seasons)).sum())
+
+    def test_empty_result_count_is_zero(self, catalog):
+        got = run_count(catalog,
+                        "select count(*) from title t where t.production_year > 99999")
+        assert got == 0.0
+
+    def test_observed_rows_annotated(self, catalog):
+        sql = "select count(*) from movie_keyword mk where mk.keyword_id < 25"
+        q = analyze(parse(sql), catalog)
+        plan = default_plan(q, catalog)
+        execute_plan(plan, catalog)
+        for node in plan.nodes():
+            assert node.obs_rows is not None
+
+    def test_observed_rows_decrease_through_filter(self, catalog):
+        sql = "select count(*) from movie_keyword mk where mk.keyword_id < 5"
+        q = analyze(parse(sql), catalog)
+        plans = enumerate_plans(q, catalog)
+        unpushed = next(p for p in plans if "Filter" in p.operator_counts())
+        execute_plan(unpushed, catalog)
+        nodes = unpushed.nodes()
+        scan = next(n for n in nodes if n.op_name == "FileScan")
+        filt = next(n for n in nodes if n.op_name == "Filter")
+        assert filt.obs_rows < scan.obs_rows
+
+    def test_string_predicate_query(self, catalog):
+        got = run_count(catalog,
+                        "select count(*) from company_name cn "
+                        "where cn.country_code = 'us'")
+        codes = catalog.table("company_name").column("country_code")
+        truth = float(sum(1 for c in codes if c == "us"))
+        assert got == truth
+
+    def test_like_predicate_query(self, catalog):
+        got = run_count(catalog,
+                        "select count(*) from keyword k where k.keyword like 'kw_1%'")
+        words = catalog.table("keyword").column("keyword")
+        truth = float(sum(1 for w in words if w is not None and w.startswith("kw_1")))
+        assert got == truth
+
+    def test_min_max_on_string_column(self, catalog):
+        sql = "select min(cn.country_code), max(cn.country_code) from company_name cn"
+        q = analyze(parse(sql), catalog)
+        result = execute_plan(default_plan(q, catalog), catalog)
+        codes = [c for c in catalog.table("company_name").column("country_code")
+                 if c is not None]
+        assert result.column("min(cn.country_code)")[0] == min(codes)
+        assert result.column("max(cn.country_code)")[0] == max(codes)

@@ -1,0 +1,151 @@
+"""Tests for the rule-based default plans and collection curation caps."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PAPER_CLUSTER, SparkSimulator
+from repro.data import build_imdb_catalog
+from repro.engine import execute_plan
+from repro.plan import analyze, default_plan, enumerate_plans, spark_default_plan
+from repro.plan.enumerator import SPARK_NON_CBO_THRESHOLD
+from repro.sql import parse
+from repro.workload import CollectionConfig, DataCollector
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_imdb_catalog(scale=0.15, seed=7)
+
+
+FILTERED_JOIN = """select count(*) from title t, movie_companies mc
+                   where t.id = mc.movie_id and mc.company_id < 60"""
+
+
+class TestSparkDefaultPlan:
+    def test_structure_is_valid(self, catalog):
+        query = analyze(parse(FILTERED_JOIN), catalog)
+        plan = spark_default_plan(query, catalog)
+        assert plan.label == "spark-default"
+        counts = plan.operator_counts()
+        assert counts["FileScan"] == 2
+        execute_plan(plan, catalog)  # must run
+
+    def test_non_cbo_threshold_is_conservative(self):
+        # 10 MB of real data / 6000x amplification.
+        assert SPARK_NON_CBO_THRESHOLD == pytest.approx(10e6 / 6000.0)
+
+    def test_ignores_filters_in_broadcast_decision(self, catalog):
+        """A heavily filtered mid-size table would be broadcast by the
+        CBO default but not by the non-CBO default (which sees the
+        unfiltered base size)."""
+        query = analyze(parse(FILTERED_JOIN), catalog)
+        cbo = default_plan(query, catalog)
+        non_cbo = spark_default_plan(query, catalog)
+        assert "BroadcastHashJoin" in cbo.operator_counts()
+        assert "SortMergeJoin" in non_cbo.operator_counts()
+
+    def test_tiny_dimension_still_broadcast(self, catalog):
+        sql = """select count(*) from title t, kind_type kt
+                 where t.kind_id = kt.id"""
+        query = analyze(parse(sql), catalog)
+        plan = spark_default_plan(query, catalog)
+        assert "BroadcastHashJoin" in plan.operator_counts()
+
+    def test_default_often_beatable_by_candidates(self, catalog):
+        """The oracle over enumerated candidates beats the non-CBO
+        default on a filtered join — the Fig. 1 headroom."""
+        query = analyze(parse(FILTERED_JOIN), catalog)
+        default = spark_default_plan(query, catalog)
+        execute_plan(default, catalog)
+        plans = enumerate_plans(query, catalog)
+        for plan in plans:
+            execute_plan(plan, catalog)
+        sim = SparkSimulator(seed=0)
+        default_time = sim.execute_mean(default, PAPER_CLUSTER)
+        oracle = min(sim.execute_mean(p, PAPER_CLUSTER) for p in plans)
+        assert oracle < default_time
+
+
+class TestCollectionCuration:
+    def test_row_cap_skips_blowups(self, catalog):
+        collector = DataCollector(
+            catalog, SparkSimulator(seed=0),
+            config=CollectionConfig(max_observed_rows=10))
+        records = collector.collect([FILTERED_JOIN])
+        assert not records
+        assert "workload cap" in collector.skipped[0][1]
+
+    def test_cost_cap_skips_slow_queries(self, catalog):
+        collector = DataCollector(
+            catalog, SparkSimulator(seed=0),
+            config=CollectionConfig(max_baseline_cost_seconds=0.001))
+        records = collector.collect([FILTERED_JOIN])
+        assert not records
+        assert "cost" in collector.skipped[0][1]
+
+    def test_generous_caps_keep_queries(self, catalog):
+        collector = DataCollector(
+            catalog, SparkSimulator(seed=0),
+            config=CollectionConfig(max_observed_rows=1e9,
+                                    max_baseline_cost_seconds=1e9))
+        records = collector.collect([FILTERED_JOIN])
+        assert records
+        assert not collector.skipped
+
+
+class TestTrainerSchedule:
+    def test_lr_decay_applied(self):
+        from repro.core import RAAL, RAALConfig, Trainer, TrainerConfig
+        from repro.eval.experiments import SMOKE, ExperimentPipeline
+        from repro.core import variant
+
+        pipe = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        samples = pipe.samples_for(variant("RAAL"), "train")[:40]
+        config = pipe.base_model_config(variant("RAAL"))
+        trainer = Trainer(RAAL(config), TrainerConfig(
+            epochs=4, lr_decay_epochs=1, lr_decay_gamma=0.5, seed=0))
+        result = trainer.fit(samples)
+        assert len(result.train_losses) == 4
+        assert np.isfinite(result.train_losses[-1])
+
+
+class TestAQE:
+    def test_observed_stats_match_engine(self, catalog):
+        from repro.plan import observed_scan_stats
+        query = analyze(parse(FILTERED_JOIN), catalog)
+        stats = observed_scan_stats(query, catalog)
+        mc_rows = stats["mc"][0]
+        truth = (catalog.table("movie_companies").column("company_id") < 60).sum()
+        assert mc_rows == float(truth)
+        assert stats["t"][0] == float(catalog.table("title").row_count)
+
+    def test_aqe_adapts_to_memory(self, catalog):
+        from repro.plan import aqe_plan
+        query = analyze(parse(FILTERED_JOIN), catalog)
+        roomy = aqe_plan(query, catalog, PAPER_CLUSTER.with_memory(6.0))
+        tight = aqe_plan(query, catalog, PAPER_CLUSTER.with_memory(0.05))
+        assert "BroadcastHashJoin" in roomy.operator_counts()
+        assert "SortMergeJoin" in tight.operator_counts()
+
+    def test_aqe_plan_executes_correctly(self, catalog):
+        from repro.plan import aqe_plan, default_plan
+        query = analyze(parse(FILTERED_JOIN), catalog)
+        adaptive = aqe_plan(query, catalog, PAPER_CLUSTER)
+        reference = default_plan(query, catalog)
+        a = execute_plan(adaptive, catalog).column("count(*)")[0]
+        b = execute_plan(reference, catalog).column("count(*)")[0]
+        assert a == b
+
+    def test_aqe_avoids_broadcast_fallback(self, catalog):
+        """By construction AQE's broadcast rule matches the simulator's
+        fallback budget, so an AQE plan never hits the cliff."""
+        from repro.plan import aqe_plan
+        for mem in (0.5, 1.0, 2.0, 4.0):
+            res = PAPER_CLUSTER.with_memory(mem)
+            query = analyze(parse(FILTERED_JOIN), catalog)
+            plan = aqe_plan(query, catalog, res)
+            execute_plan(plan, catalog)
+            from repro.cluster import SimulatorParams
+            sim = SparkSimulator(params=SimulatorParams(noise_sigma=0.0))
+            result = sim.execute(plan, res)
+            assert not result.any_broadcast_fallback

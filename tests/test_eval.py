@@ -1,0 +1,216 @@
+"""Tests for repro.eval: metrics (eqs. 12-15), reporting, the pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.eval import (
+    Metrics,
+    compute_metrics,
+    correlation,
+    mean_squared_error,
+    r_squared,
+    relative_error,
+    render_scatter_summary,
+    render_series,
+    render_table,
+)
+from repro.eval.experiments import SMOKE, ExperimentPipeline, ExperimentScale
+
+
+class TestRelativeError:
+    def test_perfect_prediction(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert relative_error(a, a) == 0.0
+
+    def test_known_value(self):
+        assert relative_error(np.array([2.0]), np.array([1.0])) == pytest.approx(0.5)
+
+    def test_asymmetric_in_actual(self):
+        # RE divides by the actual, as in eq. 12.
+        a = relative_error(np.array([1.0]), np.array([2.0]))
+        b = relative_error(np.array([2.0]), np.array([1.0]))
+        assert a != b
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DatasetError):
+            relative_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            relative_error(np.array([]), np.array([]))
+
+
+class TestMSE:
+    def test_log_space_default(self):
+        actual = np.array([np.e - 1])
+        estimated = np.array([0.0])
+        assert mean_squared_error(actual, estimated) == pytest.approx(1.0)
+
+    def test_raw_space(self):
+        assert mean_squared_error(
+            np.array([3.0]), np.array([1.0]), log_space=False) == pytest.approx(4.0)
+
+
+class TestCorrelation:
+    def test_perfectly_correlated(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert correlation(a, 2 * a + 1) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_degenerate_returns_zero(self):
+        a = np.array([2.0, 2.0, 2.0])
+        assert correlation(a, np.array([1.0, 2.0, 3.0])) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0.1, 100), min_size=3, max_size=20))
+    def test_property_bounded(self, values):
+        rng = np.random.default_rng(0)
+        actual = np.array(values)
+        estimated = actual + rng.normal(size=len(values))
+        c = correlation(actual, estimated)
+        assert -1.0 - 1e-9 <= c <= 1.0 + 1e-9
+
+
+class TestR2:
+    def test_perfect_is_one(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert r_squared(a, a) == pytest.approx(1.0)
+
+    def test_mean_predictor_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, a.mean())
+        assert r_squared(a, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert r_squared(a, np.array([3.0, 1.0, -5.0])) < 0
+
+
+class TestComputeMetrics:
+    def test_bundles_all_four(self):
+        a = np.array([1.0, 2.0, 4.0, 8.0])
+        m = compute_metrics(a, a * 1.1)
+        assert m.re == pytest.approx(0.1, abs=1e-9)
+        assert m.cor == pytest.approx(1.0)
+        assert m.r2 > 0.9
+        assert m.mse < 0.1
+
+    def test_as_row_and_str(self):
+        m = Metrics(re=0.1, mse=0.2, cor=0.9, r2=0.8)
+        row = m.as_row()
+        assert set(row) == {"RE", "MSE", "COR", "R2"}
+        assert "RE=0.1000" in str(m)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("Title", ["a", "bbbb"], [[1, 2.5], ["xx", 3.0]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "bbbb" in lines[2]
+        assert "2.5000" in text
+
+    def test_render_series(self):
+        text = render_series("Fig", "mem", [1, 2], {"p1": [0.5, 0.6], "p2": [0.7, 0.8]})
+        assert "mem" in text and "p1" in text and "0.8000" in text
+
+    def test_render_scatter_summary(self):
+        rng = np.random.default_rng(0)
+        actual = rng.uniform(1, 10, 100)
+        estimated = actual * rng.uniform(0.8, 1.2, 100)
+        text = render_scatter_summary("Scatter", actual, estimated, bins=4)
+        assert "mean |rel err|" in text
+        assert text.count("\n") >= 6
+
+
+class TestExperimentPipeline:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            ExperimentPipeline(dataset="oracle")
+
+    def test_smoke_pipeline_end_to_end(self):
+        pipe = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        assert len(pipe.queries) == SMOKE.num_queries
+        assert pipe.records
+        tv = pipe.train_variant("RAAL", epochs=3)
+        assert np.isfinite(tv.metrics.re)
+        assert len(tv.actual) == len(tv.estimated) == len(pipe.split.test)
+
+    def test_fixed_resources_pipeline(self):
+        from repro.cluster import PAPER_CLUSTER
+        scale = ExperimentScale(
+            catalog_scale=0.05, num_queries=10, resource_states_per_plan=1,
+            word2vec_dim=8, word2vec_epochs=1, hidden_size=16,
+            embedding_dim=16, epochs=2, max_joins=2)
+        pipe = ExperimentPipeline(dataset="imdb", scale=scale,
+                                  fixed_resources=PAPER_CLUSTER)
+        states = {r.resources for r in pipe.records}
+        assert states == {PAPER_CLUSTER}
+
+    def test_samples_cached(self):
+        from repro.core import variant
+        pipe = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        a = pipe.samples_for(variant("RAAL"), "train")
+        b = pipe.samples_for(variant("RAAL"), "train")
+        assert a is b
+
+    def test_samples_bad_part_rejected(self):
+        from repro.core import variant
+        pipe = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        with pytest.raises(DatasetError):
+            pipe.samples_for(variant("RAAL"), "validation")
+
+
+class TestErrorAnalysis:
+    @pytest.fixture(scope="class")
+    def evaluated(self):
+        from repro.eval.analysis import analyze_errors
+        from repro.core import variant
+        pipe = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        tv = pipe.train_variant("RAAL", epochs=3)
+        spec = variant("RAAL")
+        test = pipe.split.test
+        preds = tv.trainer.predict_seconds(
+            [s.encoded for s in pipe.samples_for(spec, "test")])
+        return test, preds
+
+    def test_breakdown_structure(self, evaluated):
+        from repro.eval import analyze_errors
+        records, preds = evaluated
+        breakdown = analyze_errors(records, preds)
+        assert np.isfinite(breakdown.overall.mse)
+        assert breakdown.by_joins
+        assert breakdown.by_cost_magnitude
+        assert breakdown.by_memory
+
+    def test_render_contains_sections(self, evaluated):
+        from repro.eval import analyze_errors
+        records, preds = evaluated
+        text = analyze_errors(records, preds).render()
+        for section in ("Overall", "By join count", "By plan size",
+                        "By actual-cost magnitude", "By executor memory"):
+            assert section in text
+
+    def test_length_mismatch_rejected(self, evaluated):
+        from repro.eval import analyze_errors
+        records, preds = evaluated
+        with pytest.raises(DatasetError):
+            analyze_errors(records, preds[:-1])
+
+    def test_empty_rejected(self):
+        from repro.eval import analyze_errors
+        with pytest.raises(DatasetError):
+            analyze_errors([], [])
+
+    def test_slices_cover_all_records(self, evaluated):
+        from repro.eval.analysis import EvaluatedRecord
+        records, preds = evaluated
+        items = [EvaluatedRecord(r, float(p)) for r, p in zip(records, preds)]
+        assert all(i.num_joins >= 0 for i in items)
+        assert all(i.num_nodes >= 3 for i in items)

@@ -1,0 +1,57 @@
+"""Smoke checks that every example script is importable and well-formed.
+
+The examples' full runs take minutes (they train models); these tests
+verify they load, expose a ``main`` entry point, and carry usage docs —
+catching bit-rot without the runtime cost.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+class TestExampleScripts:
+    def _load(self, path):
+        spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_importable(self, path):
+        module = self._load(path)
+        assert module is not None
+
+    def test_has_main(self, path):
+        module = self._load(path)
+        assert callable(getattr(module, "main", None)), f"{path.name} has no main()"
+
+    def test_has_module_docstring_with_run_instructions(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc, f"{path.name} lacks a module docstring"
+        assert "Run with" in doc or "python examples/" in doc
+
+    def test_main_guard_present(self, path):
+        source = path.read_text()
+        assert '__name__ == "__main__"' in source
+
+
+class TestExampleInventory:
+    def test_at_least_seven_examples(self):
+        assert len(EXAMPLE_FILES) >= 7
+
+    def test_quickstart_exists(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    def test_required_scenarios_present(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        for required in ("quickstart", "resource_impact", "plan_selection",
+                         "cost_model_comparison", "cold_start_transfer",
+                         "explain", "resource_advisor"):
+            assert required in names, f"missing example {required}"

@@ -1,0 +1,165 @@
+"""Cross-module integration tests: the full pipeline glued together."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PAPER_CLUSTER, SimulatorParams, SparkSimulator
+from repro.core import CostPredictor, PlanSelector, variant
+from repro.data import build_imdb_catalog, build_tpch_catalog
+from repro.engine import execute_plan
+from repro.errors import ReproError
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+from repro.plan import analyze, default_plan, enumerate_plans
+from repro.sql import parse
+from repro.workload import DataCollector, QueryGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_records(self):
+        a = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        b = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        costs_a = [r.cost_seconds for r in a.records]
+        costs_b = [r.cost_seconds for r in b.records]
+        assert costs_a == costs_b
+
+    def test_same_seed_same_model(self):
+        a = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        b = ExperimentPipeline(dataset="imdb", scale=SMOKE)
+        ta = a.train_variant("RAAL", epochs=2)
+        tb = b.train_variant("RAAL", epochs=2)
+        np.testing.assert_allclose(ta.estimated, tb.estimated)
+
+
+class TestPlanEquivalenceUnderSimulation:
+    """Every candidate plan computes the same answer but different costs."""
+
+    def test_counts_equal_costs_differ(self):
+        catalog = build_imdb_catalog(scale=0.1, seed=5)
+        sql = """select count(*) from title t, movie_companies mc, movie_keyword mk
+                 where t.id = mc.movie_id and t.id = mk.movie_id
+                 and mk.keyword_id < 60"""
+        query = analyze(parse(sql), catalog)
+        plans = enumerate_plans(query, catalog)
+        counts = set()
+        sim = SparkSimulator(params=SimulatorParams(noise_sigma=0.0))
+        times = []
+        for plan in plans:
+            counts.add(float(execute_plan(plan, catalog).column("count(*)")[0]))
+            times.append(sim.execute(plan, PAPER_CLUSTER).runtime_seconds)
+        assert len(counts) == 1
+        assert len(set(np.round(times, 6))) > 1
+
+
+class TestCostRelevance:
+    """The simulated cost must track data volume — the core signal the
+    learned model is supposed to pick up."""
+
+    def test_bigger_input_costs_more(self):
+        catalog = build_imdb_catalog(scale=0.1, seed=5)
+        sim = SparkSimulator(params=SimulatorParams(noise_sigma=0.0))
+
+        def cost(sql):
+            q = analyze(parse(sql), catalog)
+            plan = default_plan(q, catalog)
+            execute_plan(plan, catalog)
+            return sim.execute(plan, PAPER_CLUSTER).runtime_seconds
+
+        small = cost("select count(*) from keyword k where k.phonetic_code < 100")
+        large = cost("select count(*) from cast_info ci where ci.role_id < 9")
+        assert large > small
+
+    def test_selective_filter_cheaper_than_full_scan_join(self):
+        catalog = build_imdb_catalog(scale=0.1, seed=5)
+        sim = SparkSimulator(params=SimulatorParams(noise_sigma=0.0))
+
+        def cost(sql):
+            q = analyze(parse(sql), catalog)
+            plan = default_plan(q, catalog)
+            execute_plan(plan, catalog)
+            return sim.execute(plan, PAPER_CLUSTER).runtime_seconds
+
+        selective = cost("""select count(*) from title t, movie_keyword mk
+                            where t.id = mk.movie_id and mk.keyword_id = 1""")
+        broad = cost("""select count(*) from title t, movie_keyword mk
+                        where t.id = mk.movie_id and mk.keyword_id > 0""")
+        assert selective < broad
+
+
+class TestSelectorNeverCrashesOnWorkload:
+    def test_selection_over_generated_queries(self, pipeline):
+        trained = pipeline.train_variant("RAAL", epochs=2)
+        predictor = CostPredictor(trained.encoder, trained.trainer)
+        selector = PlanSelector(predictor, pipeline.catalog)
+        generator = QueryGenerator(pipeline.catalog,
+                                   WorkloadConfig(max_joins=3), seed=99)
+        selected = 0
+        for sql in generator.generate(10):
+            try:
+                query = analyze(parse(sql), pipeline.catalog)
+                result = selector.select(query, PAPER_CLUSTER)
+            except ReproError:
+                continue
+            assert result.chosen in result.candidates
+            selected += 1
+        assert selected >= 7
+
+
+class TestFailureInjection:
+    def test_collector_survives_malformed_sql(self, pipeline):
+        collector = DataCollector(pipeline.catalog, pipeline.simulator)
+        records = collector.collect([
+            "this is not sql",
+            "select count(*) from",
+            "select count(*) from movie_keyword mk where mk.keyword_id < 9",
+        ])
+        assert len(collector.skipped) == 2
+        assert records
+
+    def test_simulator_rejects_nan_free_but_unannotated(self, pipeline):
+        sql = "select count(*) from title t where t.id < 0"
+        query = analyze(parse(sql), pipeline.catalog)
+        plans = enumerate_plans(query, pipeline.catalog)
+        # Execute: zero-row outputs are annotated (obs_rows = 0.0) and
+        # must simulate without errors.
+        execute_plan(plans[0], pipeline.catalog)
+        runtime = pipeline.simulator.execute(plans[0], PAPER_CLUSTER).runtime_seconds
+        assert np.isfinite(runtime) and runtime > 0
+
+    def test_training_with_constant_targets_does_not_crash(self, pipeline):
+        from repro.core import RAAL, Trainer, TrainerConfig, TrainingSample
+        spec = variant("RAAL")
+        samples = pipeline.samples_for(spec, "train")[:16]
+        constant = [TrainingSample(s.encoded, 1.0) for s in samples]
+        model = RAAL(pipeline.base_model_config(spec))
+        trainer = Trainer(model, TrainerConfig(epochs=2))
+        result = trainer.fit(constant)
+        assert np.isfinite(result.train_losses[-1])
+
+    def test_tpch_pipeline_end_to_end(self):
+        pipe = ExperimentPipeline(dataset="tpch", scale=SMOKE)
+        tv = pipe.train_variant("RAAL", epochs=2)
+        assert np.isfinite(tv.metrics.mse)
+
+
+class TestCatalogScaleMonotonicity:
+    def test_larger_scale_more_rows(self):
+        small = build_tpch_catalog(scale=0.05)
+        large = build_tpch_catalog(scale=0.2)
+        assert large.total_rows() > small.total_rows()
+
+    def test_simulated_cost_grows_with_catalog_scale(self):
+        sql = "select count(*) from lineitem l where l.l_quantity < 30"
+        sim = SparkSimulator(params=SimulatorParams(noise_sigma=0.0))
+        times = []
+        for scale in (0.05, 0.2):
+            catalog = build_tpch_catalog(scale=scale)
+            query = analyze(parse(sql), catalog)
+            plan = default_plan(query, catalog)
+            execute_plan(plan, catalog)
+            times.append(sim.execute(plan, PAPER_CLUSTER).runtime_seconds)
+        assert times[1] > times[0]

@@ -1,0 +1,73 @@
+"""Tests for the micro-model (CLEO/Microlearner-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MicroCostModel, MicroModelConfig
+from repro.cluster import PAPER_CLUSTER
+from repro.errors import TrainingError
+from repro.eval import compute_metrics
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+@pytest.fixture(scope="module")
+def fitted(pipeline):
+    return MicroCostModel().fit(pipeline.split.train)
+
+
+class TestMicroCostModel:
+    def test_unfitted_predict_rejected(self, pipeline):
+        record = pipeline.records[0]
+        with pytest.raises(TrainingError):
+            MicroCostModel().predict(record.plan, record.resources)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            MicroCostModel().fit([])
+
+    def test_predictions_positive_finite(self, pipeline, fitted):
+        est = fitted.predict_records(pipeline.split.test[:20])
+        assert (est >= 0).all() and np.isfinite(est).all()
+
+    def test_per_operator_models_fitted(self, fitted):
+        assert fitted.num_operator_models >= 5
+
+    def test_rare_operators_fall_back(self, pipeline):
+        config = MicroModelConfig(min_records_per_operator=10 ** 9)
+        model = MicroCostModel(config).fit(pipeline.split.train)
+        assert model.num_operator_models == 0
+        record = pipeline.records[0]
+        assert model.predict(record.plan, record.resources) >= 0
+
+    def test_learns_coarse_cost_scale(self, pipeline, fitted):
+        """The micro-model should at least order cheap vs expensive
+        records on the training set."""
+        train = pipeline.split.train
+        actual = np.array([r.cost_seconds for r in train])
+        est = fitted.predict_records(train)
+        cheap = actual < np.median(actual)
+        assert est[cheap].mean() < est[~cheap].mean()
+
+    def test_resource_sensitivity(self, pipeline, fitted):
+        """Predictions respond to the resource features."""
+        from dataclasses import replace
+        record = pipeline.records[0]
+        lo = fitted.predict(record.plan, PAPER_CLUSTER.with_memory(1.0))
+        hi = fitted.predict(record.plan, PAPER_CLUSTER.with_memory(6.0))
+        assert lo != hi
+
+    def test_comparable_at_smoke_scale(self, pipeline, fitted):
+        """At smoke scale the end-to-end model should at least stay in
+        the micro-model's league (the decisive comparison runs at bench
+        scale in benchmarks/test_table6_vs_gpsj.py)."""
+        raal = pipeline.train_variant("RAAL", epochs=8)
+        actual = np.array([r.cost_seconds for r in pipeline.split.test])
+        micro_metrics = compute_metrics(
+            actual, fitted.predict_records(pipeline.split.test))
+        assert np.isfinite(micro_metrics.mse)
+        assert raal.metrics.mse <= micro_metrics.mse * 3.0

@@ -1,0 +1,154 @@
+"""Targeted tests for paths not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    MAX_CLUSTER,
+    PAPER_CLUSTER,
+    ResourceProfile,
+    SparkSimulator,
+    split_stages,
+)
+from repro.data import build_imdb_catalog
+from repro.engine import execute_plan
+from repro.errors import PlanError
+from repro.plan import analyze, default_plan, enumerate_plans
+from repro.plan.logical import LogicalScan
+from repro.plan.optimizer import SimplifyFilters, _rebuild
+from repro.sql import parse
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_imdb_catalog(scale=0.05, seed=3)
+
+
+class TestPartialAggregateExchangeAnnotation:
+    def test_exchange_reports_aggregated_rows(self, catalog):
+        """The shuffle above a partial aggregate transfers one row per
+        group, not the rows the executor passes through for
+        correctness."""
+        sql = "select count(*) from movie_keyword mk where mk.keyword_id < 30"
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        nodes = plan.nodes()
+        exchange = next(n for n in nodes if n.op_name == "ExchangeSinglePartition")
+        partial = next(n for n in nodes
+                       if n.op_name == "HashAggregate" and n.mode == "partial")
+        assert exchange.obs_rows == partial.obs_rows == 1.0
+
+    def test_group_by_exchange_reports_group_count(self, catalog):
+        sql = ("select t.kind_id, count(*) from title t group by t.kind_id")
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        exchange = next(n for n in plan.nodes()
+                        if n.op_name == "ExchangeHashPartition")
+        kinds = np.unique(catalog.table("title").column("kind_id")).size
+        assert exchange.obs_rows == float(kinds)
+
+
+class TestResourceFeatures:
+    def test_custom_maxima(self):
+        custom_max = ResourceProfile(
+            nodes=4, cores_per_node=4, executors=4, executor_cores=4,
+            executor_memory_gb=8.0, network_throughput_mbps=240.0,
+            disk_throughput_mbps=300.0)
+        feats = PAPER_CLUSTER.as_features(maxima=custom_max)
+        assert feats[0] == pytest.approx(1.0)       # nodes 4/4
+        assert feats[4] == pytest.approx(0.5)       # memory 4/8
+
+    def test_features_clipped_at_one(self):
+        monster = ResourceProfile(
+            nodes=MAX_CLUSTER.nodes * 2, cores_per_node=4, executors=2,
+            executor_cores=2, executor_memory_gb=4.0)
+        feats = monster.as_features()
+        assert feats.max() <= 1.0
+
+    def test_total_memory(self):
+        res = ResourceProfile(executors=3, executor_memory_gb=2.0)
+        assert res.total_memory_gb == 6.0
+
+
+class TestStageProperties:
+    def test_broadcast_stage_flag_and_output(self, catalog):
+        sql = """select count(*) from title t, movie_keyword mk
+                 where t.id = mk.movie_id"""
+        query = analyze(parse(sql), catalog)
+        plans = enumerate_plans(query, catalog)
+        bhj = next(p for p in plans if "BroadcastHashJoin" in p.operator_counts())
+        execute_plan(bhj, catalog)
+        stages = split_stages(bhj)
+        broadcast_stages = [s for s in stages if s.is_broadcast]
+        assert broadcast_stages
+        for stage in broadcast_stages:
+            assert stage.output_rows() >= 0
+        result = [s for s in stages if s.is_result_stage]
+        assert len(result) == 1
+        assert result[0].output_rows() == 1.0  # count(*) row
+
+    def test_stage_repr(self, catalog):
+        sql = "select count(*) from title t"
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        stages = split_stages(plan)
+        assert all("Stage#" in repr(s) for s in stages)
+
+
+class TestOptimizerInternals:
+    def test_rebuild_rejects_unknown_node(self):
+        class Strange:
+            children = []
+
+        with pytest.raises(PlanError):
+            _rebuild(Strange(), [])
+
+    def test_rebuild_scan_is_identity(self):
+        scan = LogicalScan(table="t", alias="t")
+        assert _rebuild(scan, []) is scan
+
+    def test_simplify_filters_keeps_contradiction(self, catalog):
+        # Contradictory BETWEEN stays (executor yields empty result).
+        sql = "select count(*) from title t where t.id between 100 and 1"
+        query = analyze(parse(sql), catalog)
+        from repro.plan import build_logical_plan
+        plan = build_logical_plan(query)
+        simplified = SimplifyFilters().apply(plan)
+        assert "between" in simplified.describe().lower()
+        physical = default_plan(query, catalog)
+        result = execute_plan(physical, catalog)
+        assert result.column("count(*)")[0] == 0.0
+
+
+class TestSimulatorEdgeCases:
+    def test_empty_result_plan_simulates(self, catalog):
+        sql = "select count(*) from title t where t.production_year > 99999"
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        runtime = SparkSimulator(seed=0).execute(plan, PAPER_CLUSTER).runtime_seconds
+        assert np.isfinite(runtime) and runtime > 0
+
+    def test_single_core_single_executor(self, catalog):
+        sql = "select count(*) from movie_keyword mk where mk.keyword_id < 30"
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        tiny = ResourceProfile(nodes=1, cores_per_node=1, executors=1,
+                               executor_cores=1, executor_memory_gb=0.5)
+        runtime = SparkSimulator(seed=0).execute(plan, tiny).runtime_seconds
+        assert np.isfinite(runtime)
+
+    def test_oversubscribed_profile_simulates(self, catalog):
+        sql = "select count(*) from movie_keyword mk where mk.keyword_id < 30"
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        over = ResourceProfile(nodes=1, cores_per_node=2, executors=8,
+                               executor_cores=4)
+        assert over.oversubscribed
+        runtime = SparkSimulator(seed=0).execute(plan, over).runtime_seconds
+        assert np.isfinite(runtime)

@@ -1,0 +1,379 @@
+"""Unit and property tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AutogradError, ShapeError
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x.copy().reshape(x.shape))
+        flat[i] = orig - eps
+        minus = fn(x.copy().reshape(x.shape))
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x0: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradient of build(Tensor) against finite differences."""
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    analytic = t.grad
+
+    def scalar_fn(arr):
+        return build(Tensor(arr)).item()
+
+    numeric = numeric_grad(scalar_fn, x0.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_and_tolist(self):
+        assert Tensor(3.5).item() == 3.5
+        assert Tensor([[1.0, 2.0]]).tolist() == [[1.0, 2.0]]
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_zeros_ones(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).data.sum() == 4.0
+
+    def test_detach_breaks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_backward_requires_scalar(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(AutogradError):
+            (x * 2).backward()
+
+    def test_backward_on_detached_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(AutogradError):
+            x.backward()
+
+    def test_explicit_gradient_shape_checked(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3
+        with pytest.raises(ShapeError):
+            y.backward(np.ones(3))
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_grad(lambda t: (t + t + 1.0).sum(), np.array([1.0, -2.0, 3.0]))
+
+    def test_mul(self):
+        check_grad(lambda t: (t * t * 2.0).sum(), np.array([1.0, -2.0, 3.0]))
+
+    def test_sub_and_neg(self):
+        check_grad(lambda t: (3.0 - t - t).sum(), np.array([1.0, -2.0]))
+
+    def test_div(self):
+        check_grad(lambda t: (1.0 / t).sum(), np.array([1.0, 2.0, 4.0]))
+
+    def test_pow(self):
+        check_grad(lambda t: (t ** 3.0).sum(), np.array([1.0, 2.0, 0.5]))
+
+    def test_pow_rejects_tensor_exponent(self):
+        x = Tensor([1.0], requires_grad=True)
+        with pytest.raises(AutogradError):
+            x ** Tensor([2.0])
+
+    def test_broadcast_add(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor(np.array([10.0, 20.0]), requires_grad=True)
+        out = (Tensor(a) + b).sum()
+        out.backward()
+        np.testing.assert_allclose(b.grad, [2.0, 2.0])
+
+    def test_broadcast_mul_grad(self):
+        col = Tensor(np.array([[2.0], [3.0]]), requires_grad=True)
+        mat = Tensor(np.ones((2, 4)))
+        (col * mat).sum().backward()
+        np.testing.assert_allclose(col.grad, [[4.0], [4.0]])
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3 + x * 4
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_zero_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        rng = np.random.default_rng(1)
+        a0 = rng.normal(size=(3, 4))
+        b0 = rng.normal(size=(4, 2))
+        a = Tensor(a0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        na = numeric_grad(lambda arr: float((arr @ b0).sum()), a0.copy())
+        nb = numeric_grad(lambda arr: float((a0 @ arr).sum()), b0.copy())
+        np.testing.assert_allclose(a.grad, na, atol=1e-5)
+        np.testing.assert_allclose(b.grad, nb, atol=1e-5)
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(2)
+        a0 = rng.normal(size=(5, 3, 4))
+        b0 = rng.normal(size=(5, 4, 2))
+        a = Tensor(a0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        ((a @ b) ** 2.0).sum().backward()
+        na = numeric_grad(lambda arr: float(((arr @ b0) ** 2).sum()), a0.copy())
+        np.testing.assert_allclose(a.grad, na, atol=1e-4)
+        nb = numeric_grad(lambda arr: float(((a0 @ arr) ** 2).sum()), b0.copy())
+        np.testing.assert_allclose(b.grad, nb, atol=1e-4)
+
+    def test_matrix_vector(self):
+        rng = np.random.default_rng(3)
+        a0 = rng.normal(size=(3, 4))
+        v0 = rng.normal(size=4)
+        a = Tensor(a0.copy(), requires_grad=True)
+        v = Tensor(v0.copy(), requires_grad=True)
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(a.grad, np.tile(v0, (3, 1)), atol=1e-12)
+        np.testing.assert_allclose(v.grad, a0.sum(axis=0), atol=1e-12)
+
+    def test_vector_matrix(self):
+        rng = np.random.default_rng(4)
+        v0 = rng.normal(size=3)
+        b0 = rng.normal(size=(3, 2))
+        v = Tensor(v0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        (v @ b).sum().backward()
+        np.testing.assert_allclose(v.grad, b0.sum(axis=1), atol=1e-12)
+        np.testing.assert_allclose(b.grad, np.tile(v0[:, None], (1, 2)), atol=1e-12)
+
+    def test_vector_vector(self):
+        v = Tensor([1.0, 2.0], requires_grad=True)
+        w = Tensor([3.0, 4.0], requires_grad=True)
+        (v @ w).backward()
+        np.testing.assert_allclose(v.grad, [3.0, 4.0])
+        np.testing.assert_allclose(w.grad, [1.0, 2.0])
+
+    def test_batched_matrix_times_shared_matrix(self):
+        rng = np.random.default_rng(5)
+        a0 = rng.normal(size=(6, 2, 3))
+        b0 = rng.normal(size=(3, 4))
+        b = Tensor(b0.copy(), requires_grad=True)
+        (Tensor(a0) @ b).sum().backward()
+        nb = numeric_grad(lambda arr: float((a0 @ arr).sum()), b0.copy())
+        np.testing.assert_allclose(b.grad, nb, atol=1e-5)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_elementwise_grads(self, name):
+        x0 = np.array([0.5, -1.3, 2.1, -0.2])
+        check_grad(lambda t: getattr(t, name)().sum(), x0)
+
+    def test_log_grad(self):
+        check_grad(lambda t: t.log().sum(), np.array([0.5, 1.5, 3.0]))
+
+    def test_sqrt(self):
+        check_grad(lambda t: t.sqrt().sum(), np.array([1.0, 4.0, 9.0]))
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor([1000.0, -1000.0])
+        s = x.sigmoid().numpy()
+        assert np.isfinite(s).all()
+        assert s[0] == pytest.approx(1.0)
+        assert s[1] == pytest.approx(0.0)
+
+    def test_clip_grad_masks_outside(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        np.testing.assert_allclose(x.softmax(axis=-1).numpy().sum(axis=-1), np.ones(4))
+
+    def test_softmax_grad(self):
+        x0 = np.array([[0.3, -1.0, 2.0]])
+        check_grad(lambda t: (t.softmax(axis=-1) * Tensor([[1.0, 2.0, 3.0]])).sum(), x0)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        a = Tensor(x).softmax().numpy()
+        b = Tensor(x + 100.0).softmax().numpy()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_sum_multiple_axes(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        x.sum(axis=(0, 2)).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_mean_grad(self):
+        check_grad(lambda t: t.mean(), np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_mean_axis(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 0.25))
+
+    def test_max_global(self):
+        x = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis_ties_split_gradient(self):
+        x = Tensor([[2.0, 2.0], [1.0, 3.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5], [0.0, 1.0]])
+
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        (x.reshape(2, 3) * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(6, 2.0))
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.T.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_transpose_axes(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.transpose(1, 0, 2).shape == (3, 2, 4)
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        x[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_squeeze_and_expand_dims(self):
+        x = Tensor(np.zeros((2, 1, 3)), requires_grad=True)
+        y = x.squeeze(1).expand_dims(0)
+        assert y.shape == (1, 2, 3)
+        y.sum().backward()
+        assert x.grad.shape == (2, 1, 3)
+
+    def test_concat_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = Tensor.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 3), 3.0))
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor.concat([])
+
+    def test_stack_grad(self):
+        parts = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(4)]
+        out = Tensor.stack(parts, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for p in parts:
+            np.testing.assert_allclose(p.grad, np.ones(3))
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor.stack([])
+
+
+class TestComposite:
+    def test_deep_chain_gradcheck(self):
+        rng = np.random.default_rng(7)
+        x0 = rng.normal(size=(3, 4))
+
+        def build(t):
+            return ((t.tanh() @ Tensor(np.ones((4, 2)))).sigmoid() * 3.0).mean()
+
+        check_grad(build, x0)
+
+    def test_diamond_graph(self):
+        x = Tensor([1.5], requires_grad=True)
+        a = x * 2
+        b = x.exp()
+        (a * b).backward()
+        expected = 2 * np.exp(1.5) + 2 * 1.5 * np.exp(1.5)
+        np.testing.assert_allclose(x.grad, [expected])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-3, 3), min_size=1, max_size=8))
+    def test_property_square_sum_gradient(self, values):
+        x0 = np.array(values, dtype=np.float64)
+        x = Tensor(x0.copy(), requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x0, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 4), st.integers(1, 4),
+        st.floats(-2, 2), st.floats(-2, 2),
+    )
+    def test_property_linear_gradients(self, rows, cols, scale_a, scale_b):
+        a0 = np.full((rows, cols), scale_a)
+        b0 = np.full((rows, cols), scale_b)
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b0, atol=1e-9)
+        np.testing.assert_allclose(b.grad, a0, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-5, 5), min_size=2, max_size=10))
+    def test_property_softmax_simplex(self, values):
+        out = Tensor(np.array(values)).softmax().numpy()
+        assert out.min() >= 0
+        np.testing.assert_allclose(out.sum(), 1.0, atol=1e-9)

@@ -1,0 +1,91 @@
+"""Tests for model persistence: word2vec and the full cost predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostPredictor, load_predictor, save_predictor, variant
+from repro.errors import TrainingError
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+from repro.text import Word2Vec, Word2VecConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+@pytest.fixture(scope="module")
+def trained(pipeline):
+    return pipeline.train_variant("RAAL", epochs=3)
+
+
+class TestWord2VecPersistence:
+    @pytest.fixture(scope="class")
+    def model(self):
+        sentences = [["filter", "x", ">", "<num:1e2>"],
+                     ["scan", "table_b", "bytes"]] * 30
+        return Word2Vec(Word2VecConfig(dim=8, epochs=2, seed=1)).train(sentences)
+
+    def test_roundtrip_vectors(self, model, tmp_path):
+        path = tmp_path / "w2v.npz"
+        model.save(path)
+        restored = Word2Vec.load(path)
+        for token in ("filter", "scan", "<num:1e2>"):
+            np.testing.assert_array_equal(model.vector(token), restored.vector(token))
+
+    def test_roundtrip_vocab_ids(self, model, tmp_path):
+        path = tmp_path / "w2v.npz"
+        model.save(path)
+        restored = Word2Vec.load(path)
+        assert restored.vocab.id_of("filter") == model.vocab.id_of("filter")
+        assert restored.vocab.id_of("never_seen") == 0
+
+    def test_roundtrip_config(self, model, tmp_path):
+        path = tmp_path / "w2v.npz"
+        model.save(path)
+        restored = Word2Vec.load(path)
+        assert restored.config == model.config
+
+    def test_untrained_save_rejected(self, tmp_path):
+        with pytest.raises(TrainingError):
+            Word2Vec().save(tmp_path / "x.npz")
+
+
+class TestPredictorPersistence:
+    def test_roundtrip_predictions(self, pipeline, trained, tmp_path):
+        predictor = CostPredictor(trained.encoder, trained.trainer)
+        record = pipeline.records[0]
+        before = predictor.predict(record.plan, record.resources)
+        save_predictor(predictor, tmp_path / "model")
+        restored = load_predictor(tmp_path / "model")
+        after = restored.predict(record.plan, record.resources)
+        assert before == pytest.approx(after, abs=1e-9)
+
+    def test_roundtrip_many(self, pipeline, trained, tmp_path):
+        predictor = CostPredictor(trained.encoder, trained.trainer)
+        pairs = [(r.plan, r.resources) for r in pipeline.records[:6]]
+        before = predictor.predict_many(pairs)
+        save_predictor(predictor, tmp_path / "model")
+        after = load_predictor(tmp_path / "model").predict_many(pairs)
+        np.testing.assert_allclose(before, after, atol=1e-9)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(TrainingError):
+            load_predictor(tmp_path / "nope")
+
+    def test_persisted_files_exist(self, trained, tmp_path):
+        predictor = CostPredictor(trained.encoder, trained.trainer)
+        save_predictor(predictor, tmp_path / "model")
+        assert (tmp_path / "model" / "meta.json").exists()
+        assert (tmp_path / "model" / "model.npz").exists()
+        assert (tmp_path / "model" / "word2vec.npz").exists()
+
+    def test_onehot_predictor_roundtrip(self, pipeline, tmp_path):
+        tv = pipeline.train_variant("OH-LSTM", epochs=2)
+        predictor = CostPredictor(tv.encoder, tv.trainer)
+        record = pipeline.records[0]
+        before = predictor.predict(record.plan, record.resources)
+        save_predictor(predictor, tmp_path / "oh")
+        assert not (tmp_path / "oh" / "word2vec.npz").exists()
+        after = load_predictor(tmp_path / "oh").predict(record.plan, record.resources)
+        assert before == pytest.approx(after, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Column, DataType, TableSchema
+from repro.data.statistics import compute_table_statistics
+from repro.eval.metrics import correlation, r_squared, relative_error
+from repro.text.tokenize import tokenize_statement
+
+
+class TestStatisticsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200),
+           st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_range_selectivity_always_in_unit_interval(self, values, a, b):
+        schema = TableSchema("t", [Column("x", DataType.FLOAT)])
+        stats = compute_table_statistics(schema, {"x": np.array(values)})
+        lo, hi = min(a, b), max(a, b)
+        sel = stats.column("x").selectivity_range(lo, hi)
+        assert 0.0 <= sel <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200),
+           st.integers(-10, 60))
+    def test_eq_selectivity_in_unit_interval(self, values, probe):
+        schema = TableSchema("t", [Column("x", DataType.INT)])
+        stats = compute_table_statistics(
+            schema, {"x": np.array(values, dtype=np.float64)})
+        sel = stats.column("x").selectivity_eq(float(probe))
+        assert 0.0 <= sel <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=5, max_size=300))
+    def test_full_range_selectivity_near_one(self, values):
+        schema = TableSchema("t", [Column("x", DataType.INT)])
+        stats = compute_table_statistics(
+            schema, {"x": np.array(values, dtype=np.float64)})
+        sel = stats.column("x").selectivity_range(None, None)
+        assert sel >= 0.8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0, 100), min_size=2, max_size=100))
+    def test_wider_ranges_never_less_selective(self, values):
+        schema = TableSchema("t", [Column("x", DataType.FLOAT)])
+        stats = compute_table_statistics(schema, {"x": np.array(values)})
+        col = stats.column("x")
+        narrow = col.selectivity_range(25.0, 50.0)
+        wide = col.selectivity_range(0.0, 100.0)
+        assert wide >= narrow - 1e-9
+
+
+class TestTokenizerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abcdefghij_.()<>=&| 0123456789'", max_size=80))
+    def test_tokenizer_never_crashes(self, text):
+        tokens = tokenize_statement(text)
+        assert all(isinstance(t, str) and t for t in tokens)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(1e-6, 1e9))
+    def test_number_tokens_bounded_vocabulary(self, value):
+        tokens = tokenize_statement(f"x > {value:.6f}")
+        num_tokens = [t for t in tokens if t.startswith("<num:")]
+        assert len(num_tokens) == 1
+        # Magnitude bucket ids stay within a small fixed range.
+        assert len(num_tokens[0]) <= 12
+
+
+class TestMetricProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.1, 1e4), min_size=2, max_size=60),
+           st.floats(1.01, 10.0))
+    def test_scaling_prediction_degrades_re(self, actual, factor):
+        actual = np.array(actual)
+        exact = relative_error(actual, actual)
+        scaled = relative_error(actual, actual * factor)
+        assert scaled >= exact
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.1, 1e4), min_size=3, max_size=60))
+    def test_correlation_scale_invariant(self, actual):
+        actual = np.array(actual)
+        noise = np.random.default_rng(0).normal(size=len(actual))
+        est = actual + noise
+        a = correlation(actual, est)
+        b = correlation(actual, est * 7.5)
+        assert a == pytest.approx(b, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(1.0, 100.0), min_size=3, max_size=40))
+    def test_r2_at_most_one(self, actual):
+        actual = np.array(actual)
+        est = actual * 0.9 + 1.0
+        assert r_squared(actual, est) <= 1.0 + 1e-12

@@ -1,0 +1,321 @@
+"""Tests for the SQL front end: tokenizer, parser, predicate evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, TokenizeError
+from repro.sql import (
+    AggregateExpr,
+    AggregateFunc,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    CompareOp,
+    InPredicate,
+    IsNullPredicate,
+    JoinCondition,
+    LikePredicate,
+    Literal,
+    TokenType,
+    evaluate_predicate,
+    like_to_regex,
+    parse,
+    tokenize,
+)
+
+# The paper's four Sec. III queries must parse as written.
+PAPER_QUERIES = [
+    "SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id<71692;",
+    """SELECT COUNT(*) FROM title t, movie_companies mc
+       WHERE t.id = mc.movie_id AND mc.company_id < 213849
+       AND mc.company_type_id > 1;""",
+    """SELECT COUNT(*) FROM title t, movie_info_idx mi_idx
+       WHERE t.id = mi_idx.movie_id AND t.kind_id < 7
+       AND t.production_year > 1961 AND mi_idx.info_type_id < 101;""",
+    """SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+       WHERE t.id = mc.movie_id AND t.id = mk.movie_id
+       AND mc.company_id = 43268 AND mk.keyword_id < 2560;""",
+]
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_lowercased(self):
+        tok = tokenize("Movie_Keyword")[0]
+        assert tok.type == TokenType.IDENTIFIER
+        assert tok.value == "movie_keyword"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert [t.value for t in tokens[:3]] == ["42", "3.14", ".5"]
+        assert all(t.type == TokenType.NUMBER for t in tokens[:3])
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("t1.col")
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.IDENTIFIER, TokenType.DOT, TokenType.IDENTIFIER]
+
+    def test_string_literal(self):
+        tok = tokenize("'hello world'")[0]
+        assert tok.type == TokenType.STRING
+        assert tok.value == "hello world"
+
+    def test_escaped_quote(self):
+        tok = tokenize("'it''s'")[0]
+        assert tok.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("= <> != < <= > >=")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["=", "<>", "<>", "<", "<=", ">", ">="]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("select -- comment\n1")
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "1"
+
+    def test_invalid_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("select @")
+
+    def test_eof_token_always_last(self):
+        assert tokenize("")[-1].type == TokenType.EOF
+
+
+class TestParserBasics:
+    def test_count_star(self):
+        stmt = parse("select count(*) from t")
+        assert stmt.has_aggregates
+        expr = stmt.select_items[0].expr
+        assert isinstance(expr, AggregateExpr)
+        assert expr.func == AggregateFunc.COUNT
+        assert expr.argument is None
+
+    def test_paper_queries_parse(self):
+        for sql in PAPER_QUERIES:
+            stmt = parse(sql)
+            assert stmt.has_aggregates
+
+    def test_paper_query_structure(self):
+        stmt = parse(PAPER_QUERIES[3])
+        assert [t.table for t in stmt.tables] == ["title", "movie_companies", "movie_keyword"]
+        assert [t.alias for t in stmt.tables] == ["t", "mc", "mk"]
+        assert len(stmt.joins) == 2
+        assert len(stmt.filters) == 2
+
+    def test_table_alias_with_as(self):
+        stmt = parse("select count(*) from title as t where t.id > 5")
+        assert stmt.tables[0].alias == "t"
+        assert stmt.tables[0].name == "t"
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from a t, b t")
+
+    def test_select_column_list(self):
+        stmt = parse("select t.id, t.name from t")
+        assert all(isinstance(i.expr, ColumnRef) for i in stmt.select_items)
+
+    def test_select_item_alias(self):
+        stmt = parse("select count(*) as n from t")
+        assert stmt.select_items[0].alias == "n"
+
+    def test_aggregates_sum_avg_min_max(self):
+        stmt = parse("select sum(t.x), avg(t.x), min(t.x), max(t.x) from t")
+        funcs = [i.expr.func for i in stmt.select_items]
+        assert funcs == [AggregateFunc.SUM, AggregateFunc.AVG,
+                         AggregateFunc.MIN, AggregateFunc.MAX]
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select sum(*) from t")
+
+    def test_bare_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select * from t")
+
+    def test_group_by(self):
+        stmt = parse("select t.a, count(*) from t group by t.a")
+        assert stmt.group_by == [ColumnRef("a", "t")]
+
+    def test_order_by_desc(self):
+        stmt = parse("select t.a from t order by t.a desc, t.b")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_limit(self):
+        assert parse("select t.a from t limit 10").limit == 10
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t extra tokens here)")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) where x = 1")
+
+    def test_roundtrip_str_reparses(self):
+        stmt = parse(PAPER_QUERIES[2])
+        again = parse(str(stmt))
+        assert str(again) == str(stmt)
+
+
+class TestPredicates:
+    def test_comparison(self):
+        stmt = parse("select count(*) from t where t.x <= 5")
+        pred = stmt.filters[0]
+        assert isinstance(pred, Comparison)
+        assert pred.op == CompareOp.LE
+        assert pred.value == Literal(5.0)
+
+    def test_reversed_comparison_flips(self):
+        stmt = parse("select count(*) from t where 5 < t.x")
+        pred = stmt.filters[0]
+        assert pred.op == CompareOp.GT
+        assert pred.column == ColumnRef("x", "t")
+
+    def test_string_comparison(self):
+        stmt = parse("select count(*) from t where t.s = 'abc'")
+        assert stmt.filters[0].value == Literal("abc")
+
+    def test_between(self):
+        stmt = parse("select count(*) from t where t.x between 1 and 10")
+        pred = stmt.filters[0]
+        assert isinstance(pred, BetweenPredicate)
+        assert pred.low == Literal(1.0)
+        assert pred.high == Literal(10.0)
+
+    def test_in_list(self):
+        stmt = parse("select count(*) from t where t.s in ('a', 'b', 'c')")
+        pred = stmt.filters[0]
+        assert isinstance(pred, InPredicate)
+        assert len(pred.values) == 3
+
+    def test_like(self):
+        stmt = parse("select count(*) from t where t.s like 'ab%'")
+        pred = stmt.filters[0]
+        assert isinstance(pred, LikePredicate)
+        assert not pred.negated
+
+    def test_not_like(self):
+        stmt = parse("select count(*) from t where t.s not like 'ab%'")
+        assert stmt.filters[0].negated
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse("select count(*) from t where t.a is null and t.b is not null")
+        assert isinstance(stmt.filters[0], IsNullPredicate)
+        assert not stmt.filters[0].negated
+        assert stmt.filters[1].negated
+
+    def test_equi_join_detected(self):
+        stmt = parse("select count(*) from a, b where a.id = b.a_id")
+        assert len(stmt.joins) == 1
+        assert isinstance(stmt.joins[0], JoinCondition)
+
+    def test_theta_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from a, b where a.id < b.a_id")
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t where t.x not between 1 and 2")
+
+    def test_missing_predicate_operator(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t where t.x")
+
+
+class TestEvaluatePredicate:
+    def _pred(self, sql_condition: str):
+        return parse(f"select count(*) from t where {sql_condition}").filters[0]
+
+    def test_numeric_lt(self):
+        pred = self._pred("t.x < 3")
+        mask = evaluate_predicate(pred, np.array([1.0, 3.0, 5.0]))
+        np.testing.assert_array_equal(mask, [True, False, False])
+
+    def test_numeric_ne_excludes_nulls(self):
+        pred = self._pred("t.x <> 2")
+        mask = evaluate_predicate(pred, np.array([1.0, 2.0, np.nan]))
+        np.testing.assert_array_equal(mask, [True, False, False])
+
+    def test_nan_never_matches_comparison(self):
+        pred = self._pred("t.x >= 0")
+        mask = evaluate_predicate(pred, np.array([np.nan, 0.0]))
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_string_eq(self):
+        pred = self._pred("t.s = 'b'")
+        vals = np.array(["a", "b", None], dtype=object)
+        np.testing.assert_array_equal(evaluate_predicate(pred, vals), [False, True, False])
+
+    def test_string_lexicographic_lt(self):
+        pred = self._pred("t.s < 'm'")
+        vals = np.array(["a", "z"], dtype=object)
+        np.testing.assert_array_equal(evaluate_predicate(pred, vals), [True, False])
+
+    def test_between_inclusive(self):
+        pred = self._pred("t.x between 2 and 4")
+        mask = evaluate_predicate(pred, np.array([1.0, 2.0, 4.0, 5.0]))
+        np.testing.assert_array_equal(mask, [False, True, True, False])
+
+    def test_in_numeric(self):
+        pred = self._pred("t.x in (1, 3)")
+        mask = evaluate_predicate(pred, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_like_prefix(self):
+        pred = self._pred("t.s like 'ab%'")
+        vals = np.array(["abc", "abd", "xab", None], dtype=object)
+        np.testing.assert_array_equal(
+            evaluate_predicate(pred, vals), [True, True, False, False])
+
+    def test_not_like_excludes_nulls(self):
+        pred = self._pred("t.s not like 'a%'")
+        vals = np.array(["abc", "xyz", None], dtype=object)
+        np.testing.assert_array_equal(
+            evaluate_predicate(pred, vals), [False, True, False])
+
+    def test_like_underscore(self):
+        pred = self._pred("t.s like 'a_c'")
+        vals = np.array(["abc", "ac", "axc"], dtype=object)
+        np.testing.assert_array_equal(evaluate_predicate(pred, vals), [True, False, True])
+
+    def test_is_null(self):
+        pred = self._pred("t.x is null")
+        mask = evaluate_predicate(pred, np.array([1.0, np.nan]))
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_is_not_null_strings(self):
+        pred = self._pred("t.s is not null")
+        vals = np.array(["a", None], dtype=object)
+        np.testing.assert_array_equal(evaluate_predicate(pred, vals), [True, False])
+
+    def test_like_to_regex_escapes_metachars(self):
+        assert like_to_regex("a.b%").match("a.bXYZ")
+        assert not like_to_regex("a.b%").match("aXb")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30), st.floats(-100, 100))
+    def test_property_lt_matches_numpy(self, values, threshold):
+        pred = Comparison(ColumnRef("x", "t"), CompareOp.LT, Literal(threshold))
+        arr = np.array(values)
+        np.testing.assert_array_equal(evaluate_predicate(pred, arr), arr < threshold)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20),
+           st.floats(-50, 0), st.floats(0, 50))
+    def test_property_between_is_intersection(self, values, lo, hi):
+        pred = BetweenPredicate(ColumnRef("x", "t"), Literal(lo), Literal(hi))
+        arr = np.array(values)
+        np.testing.assert_array_equal(
+            evaluate_predicate(pred, arr), (arr >= lo) & (arr <= hi))

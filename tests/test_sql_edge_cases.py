@@ -1,0 +1,137 @@
+"""Additional SQL front-end edge cases and robustness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, TokenizeError
+from repro.sql import (
+    CompareOp,
+    evaluate_predicate,
+    parse,
+    tokenize,
+)
+from repro.sql.ast import Comparison, ColumnRef, Literal
+
+
+class TestParserEdgeCases:
+    def test_deeply_nested_from_list(self):
+        tables = ", ".join(f"t{i} a{i}" for i in range(8))
+        stmt = parse(f"select count(*) from {tables}")
+        assert len(stmt.tables) == 8
+
+    def test_many_conjuncts(self):
+        conds = " and ".join(f"t.c{i} > {i}" for i in range(12))
+        stmt = parse(f"select count(*) from t where {conds}")
+        assert len(stmt.filters) == 12
+
+    def test_whitespace_and_newlines(self):
+        stmt = parse("select\n\tcount(*)\nfrom\n\tt\nwhere\n\tt.x\t<\t5")
+        assert stmt.filters
+
+    def test_keywords_as_identifiers_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from select")
+
+    def test_empty_in_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t where t.x in ()")
+
+    def test_between_requires_and(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t where t.x between 1 10")
+
+    def test_double_where_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t where t.x > 1 where t.y > 2")
+
+    def test_limit_non_number_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select t.a from t limit many")
+
+    def test_negative_literals_supported(self):
+        stmt = parse("select count(*) from t where t.x > -5.5 "
+                     "and t.y between -10 and -1 and t.z in (-1, -2)")
+        assert stmt.filters[0].value == Literal(-5.5)
+        assert stmt.filters[1].low == Literal(-10.0)
+        assert stmt.filters[2].values == (Literal(-1.0), Literal(-2.0))
+
+    def test_binary_minus_still_rejected(self):
+        # Arithmetic expressions are out of the GPSJ subset; "a-5" must
+        # not silently parse as "a (-5)".
+        with pytest.raises((ParseError, TokenizeError)):
+            parse("select count(*) from t where t.a-5 > 2")
+
+    def test_semicolon_only_at_end(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from t; select count(*) from u")
+
+    def test_order_by_multiple_keys(self):
+        stmt = parse("select t.a, t.b from t order by t.a desc, t.b asc")
+        assert len(stmt.order_by) == 2
+
+    def test_count_column_with_alias(self):
+        stmt = parse("select count(t.x) as n from t")
+        assert stmt.select_items[0].alias == "n"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_never_hangs_or_crashes_interpreter(self, text):
+        try:
+            parse(text)
+        except (ParseError, TokenizeError):
+            pass  # rejection is the expected path
+
+
+class TestPredicateEvalEdgeCases:
+    def test_empty_array(self):
+        pred = Comparison(ColumnRef("x", "t"), CompareOp.LT, Literal(5.0))
+        mask = evaluate_predicate(pred, np.array([]))
+        assert mask.shape == (0,)
+
+    def test_all_null_numeric_column(self):
+        pred = Comparison(ColumnRef("x", "t"), CompareOp.GE, Literal(0.0))
+        mask = evaluate_predicate(pred, np.full(4, np.nan))
+        assert not mask.any()
+
+    def test_all_null_string_column(self):
+        pred = Comparison(ColumnRef("s", "t"), CompareOp.EQ, Literal("a"))
+        values = np.array([None, None], dtype=object)
+        assert not evaluate_predicate(pred, values).any()
+
+    def test_string_ne_excludes_nulls(self):
+        pred = Comparison(ColumnRef("s", "t"), CompareOp.NE, Literal("a"))
+        values = np.array(["a", "b", None], dtype=object)
+        np.testing.assert_array_equal(
+            evaluate_predicate(pred, values), [False, True, False])
+
+    def test_inf_values_comparable(self):
+        pred = Comparison(ColumnRef("x", "t"), CompareOp.GT, Literal(1e300))
+        mask = evaluate_predicate(pred, np.array([np.inf, 0.0]))
+        np.testing.assert_array_equal(mask, [True, False])
+
+
+class TestTokenizerEdgeCases:
+    def test_adjacent_operators(self):
+        tokens = tokenize("a<=b")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["a", "<=", "b"]
+
+    def test_number_followed_by_keyword(self):
+        tokens = tokenize("between 1 and 2")
+        assert [t.value for t in tokens[:-1]] == ["between", "1", "and", "2"]
+
+    def test_comment_at_end_of_input(self):
+        tokens = tokenize("select -- trailing comment")
+        assert tokens[0].value == "select"
+        assert tokens[1].type.name == "EOF"
+
+    def test_underscore_identifiers(self):
+        tokens = tokenize("_private __dunder mid_dle")
+        assert [t.value for t in tokens[:-1]] == ["_private", "__dunder", "mid_dle"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

@@ -1,0 +1,125 @@
+"""Tests for query templates and the dynamic-allocation simulator mode."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PAPER_CLUSTER, SimulatorParams, SparkSimulator
+from repro.data import build_imdb_catalog
+from repro.engine import execute_plan
+from repro.errors import DatasetError, SimulationError
+from repro.plan import analyze, default_plan
+from repro.sql import parse
+from repro.workload import (
+    QueryTemplate,
+    job_style_templates,
+    paper_section3_queries,
+    render_template,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_imdb_catalog(scale=0.1, seed=7)
+
+
+class TestTemplates:
+    def test_paper_queries_render_and_analyze(self, catalog):
+        for template in paper_section3_queries():
+            sql = template.render(catalog)
+            query = analyze(parse(sql), catalog)
+            assert query.statement.has_aggregates
+
+    def test_job_templates_render_and_analyze(self, catalog):
+        for template in job_style_templates():
+            analyze(parse(template.render(catalog)), catalog)
+
+    def test_quantile_scaling_tracks_catalog(self):
+        small = build_imdb_catalog(scale=0.05, seed=1)
+        large = build_imdb_catalog(scale=0.3, seed=1)
+        template = paper_section3_queries()[0]  # keyword_id < {kw}
+        sql_small = template.render(small)
+        sql_large = template.render(large)
+        lit_small = float(sql_small.rsplit("<", 1)[1])
+        lit_large = float(sql_large.rsplit("<", 1)[1])
+        # Larger catalog -> larger keyword domain -> larger literal.
+        assert lit_large > lit_small
+
+    def test_selectivity_roughly_preserved_across_scales(self):
+        template = paper_section3_queries()[0]
+        fracs = []
+        for scale in (0.05, 0.3):
+            catalog = build_imdb_catalog(scale=scale, seed=1)
+            query = analyze(parse(template.render(catalog)), catalog)
+            plan = default_plan(query, catalog)
+            execute_plan(plan, catalog)
+            matched = plan.nodes()[0].obs_rows
+            total = catalog.table("movie_keyword").row_count
+            fracs.append(matched / total)
+        assert abs(fracs[0] - fracs[1]) < 0.25
+
+    def test_missing_binding_rejected(self, catalog):
+        bad = QueryTemplate(
+            name="bad", sql="select count(*) from title t where t.id < {x}",
+            quantiles={})
+        with pytest.raises(DatasetError):
+            render_template(bad, catalog)
+
+    def test_string_column_quantile_rejected(self, catalog):
+        bad = QueryTemplate(
+            name="bad", sql="select count(*) from title t where t.id < {x}",
+            quantiles={"x": ("title", "title", 0.5)})
+        with pytest.raises(DatasetError):
+            render_template(bad, catalog)
+
+
+class TestDynamicAllocation:
+    @pytest.fixture(scope="class")
+    def plan(self, catalog):
+        sql = "select count(*) from cast_info ci where ci.role_id < 8"
+        query = analyze(parse(sql), catalog)
+        plan = default_plan(query, catalog)
+        execute_plan(plan, catalog)
+        return plan
+
+    # class-level fixture needs module catalog
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_imdb_catalog(scale=0.1, seed=7)
+
+    def test_invalid_allocation_rejected(self):
+        with pytest.raises(SimulationError):
+            SparkSimulator(params=SimulatorParams(allocation="elastic"))
+
+    def test_dynamic_runtime_finite(self, plan):
+        sim = SparkSimulator(params=SimulatorParams(
+            noise_sigma=0.0, allocation="dynamic"))
+        runtime = sim.execute(plan, PAPER_CLUSTER).runtime_seconds
+        assert np.isfinite(runtime) and runtime > 0
+
+    def test_dynamic_pays_acquisition_latency_on_short_stages(self, plan):
+        static = SparkSimulator(params=SimulatorParams(
+            noise_sigma=0.0, allocation="static"))
+        dynamic = SparkSimulator(params=SimulatorParams(
+            noise_sigma=0.0, allocation="dynamic",
+            executor_acquire_latency=2.0))
+        s = static.execute(plan, PAPER_CLUSTER).runtime_seconds
+        d = dynamic.execute(plan, PAPER_CLUSTER).runtime_seconds
+        assert d > s
+
+    def test_dynamic_free_acquisition_at_most_static(self, plan):
+        """With zero acquisition latency, dynamic allocation can only
+        match or beat static (fewer executors -> less startup)."""
+        static = SparkSimulator(params=SimulatorParams(
+            noise_sigma=0.0, allocation="static"))
+        dynamic = SparkSimulator(params=SimulatorParams(
+            noise_sigma=0.0, allocation="dynamic",
+            executor_acquire_latency=0.0))
+        s = static.execute(plan, PAPER_CLUSTER).runtime_seconds
+        d = dynamic.execute(plan, PAPER_CLUSTER).runtime_seconds
+        assert d <= s + 1e-9
+
+    def test_allocation_modes_share_noise_stream(self, plan):
+        a = SparkSimulator(params=SimulatorParams(allocation="static"), seed=3)
+        b = SparkSimulator(params=SimulatorParams(allocation="static"), seed=3)
+        assert a.execute(plan, PAPER_CLUSTER).runtime_seconds == \
+            b.execute(plan, PAPER_CLUSTER).runtime_seconds

@@ -1,0 +1,183 @@
+"""Tests for repro.text: tokenizer, vocabulary, word2vec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError, VocabularyError
+from repro.text import (
+    UNK_TOKEN,
+    Vocabulary,
+    Word2Vec,
+    Word2VecConfig,
+    tokenize_statement,
+    tokenize_statements,
+)
+
+
+class TestTokenizer:
+    def test_filter_statement(self):
+        tokens = tokenize_statement(
+            "Filter ((isnotnull(mi.info_type_id) && (mi.info_type_id > 2)))")
+        assert "filter" in tokens
+        assert "isnotnull" in tokens
+        assert "mi.info_type_id" in tokens
+        assert "&&" in tokens
+        assert ">" in tokens
+
+    def test_numbers_bucketized(self):
+        tokens = tokenize_statement("x > 71692")
+        assert "<num:1e4>" in tokens
+
+    def test_number_zero(self):
+        assert "<num:0>" in tokenize_statement("x = 0")
+
+    def test_small_decimal(self):
+        tokens = tokenize_statement("x < 0.05")
+        assert "<num:1e-2>" in tokens
+
+    def test_same_magnitude_same_token(self):
+        a = tokenize_statement("x > 1500")
+        b = tokenize_statement("x > 9999")
+        assert a[-1] == b[-1]
+
+    def test_string_literal(self):
+        tokens = tokenize_statement("s LIKE 'abcdefgh%'")
+        assert "<str>" in tokens
+        assert any(t.startswith("<len:") for t in tokens)
+
+    def test_case_folding(self):
+        assert tokenize_statement("FileScan TITLE")[0] == "filescan"
+
+    def test_operators_preserved(self):
+        tokens = tokenize_statement("a <= 1 && b >= 2 || c <> 3")
+        for op in ("<=", ">=", "||", "<>"):
+            assert op in tokens
+
+    def test_multiple_statements_flatten(self):
+        tokens = tokenize_statements(["FileScan t (a)", "Filter a > 5"])
+        assert tokens.count("a") >= 1
+        assert "filescan" in tokens and "filter" in tokens
+
+    def test_empty_statement(self):
+        assert tokenize_statement("") == []
+
+
+class TestVocabulary:
+    def test_unknown_is_id_zero(self):
+        vocab = Vocabulary().fit([["a", "b"]])
+        assert vocab.id_of("never_seen") == 0
+        assert vocab.token_of(0) == UNK_TOKEN
+
+    def test_known_tokens_resolve(self):
+        vocab = Vocabulary().fit([["a", "b", "a"]])
+        assert "a" in vocab
+        assert vocab.token_of(vocab.id_of("a")) == "a"
+
+    def test_min_count_folds_rare_tokens(self):
+        vocab = Vocabulary(min_count=2).fit([["a", "a", "rare"]])
+        assert "rare" not in vocab
+        assert vocab.id_of("rare") == 0
+
+    def test_encode(self):
+        vocab = Vocabulary().fit([["a", "b"]])
+        ids = vocab.encode(["a", "zzz", "b"])
+        assert ids[1] == 0
+        assert len(ids) == 3
+
+    def test_double_fit_rejected(self):
+        vocab = Vocabulary().fit([["a"]])
+        with pytest.raises(VocabularyError):
+            vocab.fit([["b"]])
+
+    def test_invalid_min_count(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(min_count=0)
+
+    def test_token_id_out_of_range(self):
+        vocab = Vocabulary().fit([["a"]])
+        with pytest.raises(VocabularyError):
+            vocab.token_of(99)
+
+    def test_negative_sampling_distribution_sums_to_one(self):
+        vocab = Vocabulary().fit([["a"] * 10 + ["b"] * 2])
+        dist = vocab.negative_sampling_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[vocab.id_of("a")] > dist[vocab.id_of("b")]
+
+    def test_distribution_requires_fit(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().negative_sampling_distribution()
+
+
+class TestWord2Vec:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        # Two token "topics" that never co-occur: (filter, >, col_a) vs
+        # (scan, table_b, read). Embeddings should separate them.
+        rng = np.random.default_rng(0)
+        sentences = []
+        for _ in range(300):
+            if rng.random() < 0.5:
+                sentences.append(["filter", "col_a", ">", "<num:1e3>"])
+            else:
+                sentences.append(["scan", "table_b", "read", "bytes"])
+        model = Word2Vec(Word2VecConfig(dim=16, epochs=8, seed=1))
+        model.train(sentences)
+        return model
+
+    def test_vector_shape(self, trained):
+        assert trained.vector("filter").shape == (16,)
+
+    def test_cooccurring_tokens_more_similar(self, trained):
+        within = trained.similarity("filter", "col_a")
+        across = trained.similarity("filter", "table_b")
+        assert within > across
+
+    def test_most_similar_returns_neighbours(self, trained):
+        neighbours = [t for t, _ in trained.most_similar("scan", top_k=3)]
+        assert "table_b" in neighbours or "read" in neighbours or "bytes" in neighbours
+
+    def test_unknown_token_gets_unk_vector(self, trained):
+        np.testing.assert_array_equal(
+            trained.vector("zzz_unseen"), trained.vector(UNK_TOKEN))
+
+    def test_encode_tokens_mean(self, trained):
+        mean = trained.encode_tokens(["filter", "col_a"])
+        manual = (trained.vector("filter") + trained.vector("col_a")) / 2
+        np.testing.assert_allclose(mean, manual)
+
+    def test_encode_empty_tokens_zero(self, trained):
+        np.testing.assert_array_equal(trained.encode_tokens([]), np.zeros(16))
+
+    def test_untrained_raises(self):
+        with pytest.raises(TrainingError):
+            Word2Vec().vector("a")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TrainingError):
+            Word2Vec().train([])
+
+    def test_single_token_sentences_still_trainable(self):
+        model = Word2Vec(Word2VecConfig(dim=8, epochs=1))
+        model.train([["solo"]])
+        assert model.vector("solo").shape == (8,)
+
+    def test_deterministic_given_seed(self):
+        sentences = [["a", "b", "c"], ["b", "c", "d"]] * 20
+        m1 = Word2Vec(Word2VecConfig(dim=8, epochs=2, seed=3)).train(sentences)
+        m2 = Word2Vec(Word2VecConfig(dim=8, epochs=2, seed=3)).train(sentences)
+        np.testing.assert_array_equal(m1.vector("b"), m2.vector("b"))
+
+    def test_similarity_bounded(self, trained):
+        sim = trained.similarity("filter", "scan")
+        assert -1.0 <= sim <= 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=2, max_size=8))
+    def test_property_training_never_nan(self, sentence):
+        model = Word2Vec(Word2VecConfig(dim=4, epochs=1, seed=0))
+        model.train([sentence] * 5)
+        for token in set(sentence):
+            assert np.isfinite(model.vector(token)).all()
