@@ -86,9 +86,9 @@ class ResourceAdvisor:
             raise PlanError("advisor needs at least one candidate plan")
         if not profiles:
             raise PlanError("advisor needs at least one resource profile")
-        pairs = [(plan, profile) for profile in profiles for plan in plans]
-        costs = self.predictor.predict_many(pairs)
-        per_profile = costs.reshape(len(profiles), len(plans))
+        # Grid prediction: each plan is encoded once (not once per
+        # profile) thanks to the encoder's plan-side cache.
+        per_profile = self.predictor.predict_grid(plans, profiles)
         best_idx = per_profile.argmin(axis=1)
         best_costs = per_profile.min(axis=1)
         return best_idx, best_costs

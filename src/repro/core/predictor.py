@@ -18,6 +18,12 @@ class CostPredictor:
     Bundles a fitted :class:`~repro.encoding.plan_encoder.PlanEncoder`
     and a trained model so downstream code (the plan selector, the
     benchmarks) can ask for costs directly.
+
+    Prediction runs on the inference fast path by default: plan-side
+    features are served from the encoder's LRU cache, the model forward
+    is graph-free (no autograd), and batches are length-bucketed. Pass
+    ``fast=False`` to force the Tensor/autograd forward (still under
+    ``no_grad``); predictions agree to ≤ 1e-8.
     """
 
     def __init__(self, encoder: PlanEncoder, trainer: Trainer) -> None:
@@ -28,7 +34,25 @@ class CostPredictor:
         """Predicted cost (seconds) of running ``plan`` under ``resources``."""
         return float(self.predict_many([(plan, resources)])[0])
 
-    def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]]) -> np.ndarray:
-        """Vector of predicted costs for many (plan, resources) pairs."""
+    def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
+                     fast: bool = True) -> np.ndarray:
+        """Vector of predicted costs for many (plan, resources) pairs.
+
+        Repeated plans across pairs are encoded once (the encoder
+        dedups within the call and memoizes across calls).
+        """
         encoded = self.encoder.encode_many(pairs)
-        return self.trainer.predict_seconds(encoded)
+        return self.trainer.predict_seconds(encoded, fast=fast)
+
+    def predict_grid(self, plans: list[PhysicalPlan],
+                     profiles: list[ResourceProfile],
+                     fast: bool = True) -> np.ndarray:
+        """Cost matrix ``(len(profiles), len(plans))`` for a full grid.
+
+        The plan-selection / resource-recommendation workload: every
+        plan scored under every resource profile. Each plan is encoded
+        exactly once regardless of the number of profiles.
+        """
+        pairs = [(plan, profile) for profile in profiles for plan in plans]
+        costs = self.predict_many(pairs, fast=fast)
+        return costs.reshape(len(profiles), len(plans))

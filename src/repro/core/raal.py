@@ -182,3 +182,15 @@ class RAAL(Module):
         parts.append(Tensor(batch.extras))
         joined = Tensor.concat(parts, axis=1)
         return self.dense(joined).squeeze(-1)
+
+    def forward_inference(self, batch: RAALBatch) -> np.ndarray:
+        """Graph-free eval-mode forward; returns a ``(B,)`` numpy array.
+
+        Numerically equivalent to ``forward`` in eval mode (≤ 1e-8) but
+        builds no autograd graph and fuses the LSTM input projections
+        into one GEMM — the inference fast path used by
+        :meth:`repro.core.trainer.Trainer.predict_seconds`.
+        """
+        from repro.nn.inference import raal_forward_inference
+
+        return raal_forward_inference(self, batch)

@@ -48,18 +48,25 @@ class PlanSelector:
         self.config = config or EnumeratorConfig()
 
     def select(self, query: AnalyzedQuery, resources: ResourceProfile,
-               candidates: list[PhysicalPlan] | None = None) -> SelectionResult:
+               candidates: list[PhysicalPlan] | None = None,
+               fast: bool = True) -> SelectionResult:
         """Pick the best plan for ``query`` given ``resources``.
 
         ``candidates`` may be supplied when the caller already
         enumerated (and possibly executed) the plans; otherwise they
         are enumerated here. The first candidate is always the
         Catalyst-style default plan.
+
+        Selection runs on the inference fast path; re-selecting the
+        same candidates under different resource states (the Fig. 1
+        loop) reuses the encoder's cached plan-side features, so only
+        the resource vector and the model forward are recomputed.
         """
         plans = candidates or enumerate_plans(query, self.catalog, self.config)
         if not plans:
             raise PlanError("no candidate plans to select from")
-        costs = self.predictor.predict_many([(p, resources) for p in plans])
+        costs = self.predictor.predict_many(
+            [(p, resources) for p in plans], fast=fast)
         best = int(np.argmin(costs))
         return SelectionResult(
             chosen=plans[best],

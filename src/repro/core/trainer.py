@@ -178,18 +178,43 @@ class Trainer:
                 count += len(chunk)
         return total / count
 
-    def predict_log(self, encoded: list[EncodedPlan]) -> np.ndarray:
-        """Log-space predictions for encoded plans."""
-        self.model.eval()
-        preds: list[np.ndarray] = []
-        cfg = self.config
-        dummy = [TrainingSample(e, 0.0) for e in encoded]
-        with no_grad():
-            for lo in range(0, len(dummy), cfg.batch_size):
-                batch = collate(dummy[lo : lo + cfg.batch_size])
-                preds.append(self.model(batch).numpy())
-        return np.concatenate(preds)
+    def predict_log(self, encoded: list[EncodedPlan], fast: bool = True,
+                    bucket: bool = True) -> np.ndarray:
+        """Log-space predictions for encoded plans.
 
-    def predict_seconds(self, encoded: list[EncodedPlan]) -> np.ndarray:
+        The entire path runs under :func:`no_grad` — no autograd graph
+        is built or retained. Two inference optimizations are on by
+        default:
+
+        * ``fast`` — use the graph-free fused forward
+          (:meth:`RAAL.forward_inference`) instead of the
+          Tensor/autograd forward; numerically equivalent to ≤ 1e-8.
+        * ``bucket`` — sort plans by node count before batching, so a
+          batch of short plans is not padded to the longest plan in the
+          workload. Output order always matches the input order.
+        """
+        if not encoded:
+            return np.zeros(0)
+        self.model.eval()
+        cfg = self.config
+        if bucket:
+            order = np.argsort([e.num_nodes for e in encoded], kind="stable")
+        else:
+            order = np.arange(len(encoded))
+        preds = np.empty(len(encoded))
+        with no_grad():
+            for lo in range(0, len(order), cfg.batch_size):
+                idx = order[lo : lo + cfg.batch_size]
+                batch = collate([TrainingSample(encoded[i], 0.0) for i in idx])
+                if fast:
+                    out = self.model.forward_inference(batch)
+                else:
+                    out = self.model(batch).numpy()
+                preds[idx] = out
+        return preds
+
+    def predict_seconds(self, encoded: list[EncodedPlan], fast: bool = True,
+                        bucket: bool = True) -> np.ndarray:
         """Predicted costs in seconds (inverse of the log transform)."""
-        return np.expm1(np.clip(self.predict_log(encoded), 0.0, 25.0))
+        log_preds = self.predict_log(encoded, fast=fast, bucket=bucket)
+        return np.expm1(np.clip(log_preds, 0.0, 25.0))

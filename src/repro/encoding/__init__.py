@@ -5,7 +5,9 @@ from repro.encoding.onehot import OPERATOR_VOCABULARY, OneHotOperatorEncoder
 from repro.encoding.plan_encoder import (
     EXTRA_FEATURE_NAMES,
     EncodedPlan,
+    EncoderCacheInfo,
     PlanEncoder,
+    plan_fingerprint,
 )
 from repro.encoding.structure import StructureEncoder
 
@@ -17,5 +19,7 @@ __all__ = [
     "StructureEncoder",
     "PlanEncoder",
     "EncodedPlan",
+    "EncoderCacheInfo",
+    "plan_fingerprint",
     "EXTRA_FEATURE_NAMES",
 ]

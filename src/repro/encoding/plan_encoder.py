@@ -4,11 +4,21 @@ Combines the node-semantic embedding, the structure embedding, the
 normalized resource vector (eq. 1), and plan-level statistical extras
 into one :class:`EncodedPlan`. This is the feature-encoding phase of
 the paper's Fig. 3 pipeline.
+
+Encoding splits into a *plan-side* part (semantic matrix, structure
+embedding, child mask, statistical extras — everything derived from the
+plan alone) and a *resource-side* part (the normalized resource
+vector). The plan-side features are memoized in a bounded LRU keyed by
+a plan fingerprint, so grid workloads (``plans × profiles`` in the
+advisor and selector) encode each plan once instead of once per
+resource profile.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,7 +31,13 @@ from repro.errors import EncodingError
 from repro.plan.physical import PhysicalPlan
 from repro.text.word2vec import Word2VecConfig
 
-__all__ = ["EncodedPlan", "PlanEncoder", "EXTRA_FEATURE_NAMES"]
+__all__ = [
+    "EncodedPlan",
+    "PlanEncoder",
+    "EXTRA_FEATURE_NAMES",
+    "plan_fingerprint",
+    "EncoderCacheInfo",
+]
 
 EXTRA_FEATURE_NAMES = [
     "log_est_result_rows",
@@ -34,6 +50,42 @@ EXTRA_FEATURE_NAMES = [
 _LOG_ROWS_CAP = math.log1p(1e9)
 _LOG_BYTES_CAP = math.log1p(1e12)
 _JOIN_OPS = {"SortMergeJoin", "BroadcastHashJoin", "BroadcastNestedLoopJoin"}
+
+
+def plan_fingerprint(plan: PhysicalPlan) -> str:
+    """Stable digest of everything the plan-side features depend on.
+
+    Covers the per-node execution statements (semantic features), the
+    tree edges (structure embedding / child mask), and the per-node
+    cardinality estimates (cardinality features and extras). Two plans
+    with equal fingerprints encode to identical plan-side features.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for node in plan.nodes():
+        hasher.update(";".join(node.statements()).encode())
+        hasher.update(f"|{node.est_rows:.17g}|{node.est_bytes:.17g}\n".encode())
+    for child_idx, parent_idx in plan.edges():
+        hasher.update(f"{child_idx}>{parent_idx},".encode())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class EncoderCacheInfo:
+    """Hit/miss statistics of a :class:`PlanEncoder`'s plan-side cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+
+@dataclass
+class _PlanFeatures:
+    """Cached plan-side features (everything except the resource vector)."""
+
+    node_features: np.ndarray
+    child_mask: np.ndarray
+    extras: np.ndarray
 
 
 @dataclass
@@ -77,6 +129,9 @@ class PlanEncoder:
     structure:
         Structure encoder; pass ``None`` with ``use_structure=False``
         to drop structure features (the NE-LSTM ablation).
+    cache_size:
+        Capacity of the plan-side LRU cache (entries). ``0`` disables
+        caching entirely.
     """
 
     def __init__(
@@ -85,13 +140,22 @@ class PlanEncoder:
         structure: StructureEncoder | None = None,
         use_structure: bool = True,
         use_onehot: bool = False,
+        cache_size: int = 256,
     ) -> None:
         if semantic is None and not use_onehot:
             raise EncodingError("need a semantic encoder or use_onehot=True")
+        if cache_size < 0:
+            raise EncodingError("cache_size must be >= 0")
         self.semantic = semantic
-        self.use_onehot = use_onehot
+        self.cache_size = cache_size
+        self._cache: OrderedDict[str, _PlanFeatures] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        # The switches below go through properties so that flipping one
+        # after construction invalidates cached plan-side features.
+        self._use_onehot = bool(use_onehot)
         self._onehot = OneHotOperatorEncoder() if use_onehot else None
-        self.use_structure = use_structure
+        self._use_structure = bool(use_structure)
         self.structure = structure or (StructureEncoder() if use_structure else None)
 
     @classmethod
@@ -99,7 +163,8 @@ class PlanEncoder:
             word2vec_config: Word2VecConfig | None = None,
             max_nodes: int = 48,
             use_structure: bool = True,
-            use_onehot: bool = False) -> "PlanEncoder":
+            use_onehot: bool = False,
+            cache_size: int = 256) -> "PlanEncoder":
         """Fit the word2vec semantic encoder on a workload's plans."""
         semantic = None
         if not use_onehot:
@@ -109,7 +174,40 @@ class PlanEncoder:
             structure=StructureEncoder(max_nodes=max_nodes),
             use_structure=use_structure,
             use_onehot=use_onehot,
+            cache_size=cache_size,
         )
+
+    # -- config switches (cache-invalidating) --------------------------------
+    @property
+    def use_onehot(self) -> bool:
+        """Whether nodes use the Table II one-hot scheme (vs word2vec)."""
+        return self._use_onehot
+
+    @use_onehot.setter
+    def use_onehot(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._use_onehot:
+            return
+        if value and self._onehot is None:
+            self._onehot = OneHotOperatorEncoder()
+        if not value and self.semantic is None:
+            raise EncodingError("cannot disable one-hot without a semantic encoder")
+        self._use_onehot = value
+        self.cache_clear()
+
+    @property
+    def use_structure(self) -> bool:
+        """Whether structure (edge) features are appended per node."""
+        return self._use_structure
+
+    @use_structure.setter
+    def use_structure(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._use_structure:
+            if value and self.structure is None:
+                self.structure = StructureEncoder()
+            self._use_structure = value
+            self.cache_clear()
 
     @property
     def node_dim(self) -> int:
@@ -124,34 +222,43 @@ class PlanEncoder:
         """Number of plan-level extra features."""
         return len(EXTRA_FEATURE_NAMES)
 
-    # -- encoding ------------------------------------------------------------
-    def _semantic_matrix(self, plan: PhysicalPlan) -> np.ndarray:
-        if self.use_onehot:
-            return np.stack([self._onehot.encode_node(n) for n in plan.nodes()])
-        return self.semantic.encode_plan_nodes(plan)
+    # -- cache ---------------------------------------------------------------
+    def cache_info(self) -> EncoderCacheInfo:
+        """Current hit/miss statistics of the plan-side cache."""
+        return EncoderCacheInfo(hits=self._hits, misses=self._misses,
+                                size=len(self._cache), capacity=self.cache_size)
 
-    def _plan_extras(self, plan: PhysicalPlan) -> np.ndarray:
-        nodes = plan.nodes()
-        est_result = max(plan.root.est_rows, 0.0)
-        est_bytes = sum(max(n.est_bytes, 0.0) for n in nodes)
-        num_joins = sum(1 for n in nodes if n.op_name in _JOIN_OPS)
+    def cache_clear(self) -> None:
+        """Drop all cached plan-side features and reset the counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
 
-        def depth(node) -> int:
-            if not node.children:
-                return 1
-            return 1 + max(depth(c) for c in node.children)
+    def _plan_features(self, plan: PhysicalPlan,
+                       fingerprint: str | None = None) -> _PlanFeatures:
+        """Plan-side features, served from the LRU cache when possible."""
+        if self.cache_size == 0:
+            return self._compute_plan_features(plan)
+        key = fingerprint if fingerprint is not None else plan_fingerprint(plan)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._misses += 1
+        features = self._compute_plan_features(plan)
+        # Cached arrays are shared between EncodedPlan instances; mark
+        # them read-only so an accidental in-place write cannot corrupt
+        # later cache hits.
+        for array in (features.node_features, features.child_mask, features.extras):
+            array.setflags(write=False)
+        self._cache[key] = features
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return features
 
-        max_nodes = self.structure.max_nodes if self.structure else 48
-        return np.array([
-            math.log1p(est_result) / _LOG_ROWS_CAP,
-            math.log1p(est_bytes) / _LOG_BYTES_CAP,
-            len(nodes) / max_nodes,
-            num_joins / 8.0,
-            depth(plan.root) / max_nodes,
-        ])
-
-    def encode(self, plan: PhysicalPlan, resources: ResourceProfile) -> EncodedPlan:
-        """Encode one (plan, resource state) pair.
+    def _compute_plan_features(self, plan: PhysicalPlan) -> _PlanFeatures:
+        """Cold (uncached) computation of the plan-side features.
 
         Without structure features (the NE-LSTM ablation) the model must
         not receive edge information through any channel, so the
@@ -167,13 +274,81 @@ class PlanEncoder:
             node_features = semantic
             n = plan.num_nodes
             child_mask = ~np.eye(n, dtype=bool)
-        return EncodedPlan(
+        return _PlanFeatures(
             node_features=node_features,
             child_mask=child_mask,
-            resources=resources.as_features(),
             extras=self._plan_extras(plan),
         )
 
+    # -- encoding ------------------------------------------------------------
+    def _semantic_matrix(self, plan: PhysicalPlan) -> np.ndarray:
+        if self.use_onehot:
+            return np.stack([self._onehot.encode_node(n) for n in plan.nodes()])
+        return self.semantic.encode_plan_nodes(plan)
+
+    def _plan_extras(self, plan: PhysicalPlan) -> np.ndarray:
+        nodes = plan.nodes()
+        est_result = max(plan.root.est_rows, 0.0)
+        est_bytes = sum(max(n.est_bytes, 0.0) for n in nodes)
+        num_joins = sum(1 for n in nodes if n.op_name in _JOIN_OPS)
+
+        # Depth via one iterative pass over the post-order node list:
+        # children precede parents, so each node's depth is ready when
+        # the node is reached. (The old recursive version recomputed
+        # child depths exponentially on deep/shared trees.)
+        depths: dict[int, int] = {}
+        for node in nodes:
+            children = node.children
+            if children:
+                depths[id(node)] = 1 + max(depths[id(c)] for c in children)
+            else:
+                depths[id(node)] = 1
+        plan_depth = depths[id(plan.root)]
+
+        max_nodes = self.structure.max_nodes if self.structure else 48
+        return np.array([
+            math.log1p(est_result) / _LOG_ROWS_CAP,
+            math.log1p(est_bytes) / _LOG_BYTES_CAP,
+            len(nodes) / max_nodes,
+            num_joins / 8.0,
+            plan_depth / max_nodes,
+        ])
+
+    def encode(self, plan: PhysicalPlan, resources: ResourceProfile) -> EncodedPlan:
+        """Encode one (plan, resource state) pair.
+
+        The plan-side features come from the LRU cache when the plan
+        was seen before; only the (cheap) resource vector is computed
+        per call.
+        """
+        features = self._plan_features(plan)
+        return EncodedPlan(
+            node_features=features.node_features,
+            child_mask=features.child_mask,
+            resources=resources.as_features(),
+            extras=features.extras,
+        )
+
     def encode_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]]) -> list[EncodedPlan]:
-        """Encode a list of (plan, resources) pairs."""
-        return [self.encode(plan, res) for plan, res in pairs]
+        """Encode a list of (plan, resources) pairs.
+
+        Repeated plans within one call are deduplicated: each distinct
+        plan object is fingerprinted and encoded once, then shared
+        across all its (plan, profile) pairs — the advisor/selector grid
+        shape (``plans × profiles``) hits this path.
+        """
+        fingerprints: dict[int, str] = {}
+        out: list[EncodedPlan] = []
+        for plan, resources in pairs:
+            key = fingerprints.get(id(plan))
+            if key is None and self.cache_size > 0:
+                key = plan_fingerprint(plan)
+                fingerprints[id(plan)] = key
+            features = self._plan_features(plan, fingerprint=key)
+            out.append(EncodedPlan(
+                node_features=features.node_features,
+                child_mask=features.child_mask,
+                resources=resources.as_features(),
+                extras=features.extras,
+            ))
+        return out

@@ -7,6 +7,14 @@ the LSTM (:mod:`repro.nn.rnn`), the paper's two attention mechanisms
 """
 
 from repro.nn.attention import NodeAwareAttention, ResourceAwareAttention
+from repro.nn.inference import (
+    dense_forward,
+    fused_lstm_forward,
+    masked_mean_forward,
+    node_attention_forward,
+    raal_forward_inference,
+    resource_attention_forward,
+)
 from repro.nn.layers import (
     Conv1d,
     Dropout,
@@ -54,4 +62,10 @@ __all__ = [
     "clip_grad_norm",
     "save_model",
     "load_model",
+    "raal_forward_inference",
+    "fused_lstm_forward",
+    "node_attention_forward",
+    "resource_attention_forward",
+    "masked_mean_forward",
+    "dense_forward",
 ]

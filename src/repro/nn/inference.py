@@ -1,0 +1,252 @@
+"""Graph-free inference kernels for the RAAL model family.
+
+The autograd :class:`~repro.nn.tensor.Tensor` pays for every operation
+twice at inference time: it allocates a Python object per intermediate
+and wires up a backward closure that is never called. The functions
+here re-implement the forward pass of each RAAL building block on raw
+numpy arrays — no graph, no Tensor wrappers — using the *same*
+formulas and operation order as the autograd layers, so results agree
+to float-rounding (≤ 1e-8) with the training path.
+
+The LSTM forward is additionally *fused*: the input projections of all
+timesteps are computed in a single ``(B·T, D) @ (D, 4H)`` GEMM up
+front, so the per-timestep loop only carries the (irreducibly
+sequential) recurrent ``h @ W_h`` product.
+
+Entry point: :func:`raal_forward_inference`, also exposed as
+``RAAL.forward_inference``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import Dropout, Linear, ReLU, Sequential
+
+__all__ = [
+    "fused_lstm_forward",
+    "node_attention_forward",
+    "resource_attention_forward",
+    "masked_mean_forward",
+    "dense_forward",
+    "conv1d_forward",
+    "raal_forward_inference",
+]
+
+_NEG_INF = -1e9
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Same clipping as Tensor.sigmoid so the two paths agree bitwise on
+    # saturated gates.
+    x = np.clip(x, -60.0, 60.0)
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def fused_lstm_forward(
+    x: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """All hidden states of a unidirectional LSTM, graph-free.
+
+    Parameters
+    ----------
+    x:
+        Inputs ``(batch, seq, input_size)``.
+    w_x / w_h / bias:
+        Fused gate parameters, shaped ``(input, 4H)`` / ``(H, 4H)`` /
+        ``(4H,)`` with gate order i, f, g, o (as in
+        :class:`repro.nn.rnn.LSTMCell`).
+    mask:
+        Optional boolean ``(batch, seq)``; the state freezes on padded
+        (False) steps, matching :class:`repro.nn.rnn.LSTM`.
+
+    Returns
+    -------
+    np.ndarray
+        Hidden states ``(batch, seq, H)``.
+    """
+    if x.ndim != 3:
+        raise ShapeError(f"fused_lstm_forward expects (batch, seq, input), got {x.shape}")
+    batch, seq, input_size = x.shape
+    hidden_size = w_h.shape[0]
+    # One big GEMM for every timestep's input projection.
+    x_proj = (x.reshape(batch * seq, input_size) @ w_x).reshape(batch, seq, 4 * hidden_size)
+    x_proj = x_proj + bias
+    h = np.zeros((batch, hidden_size))
+    c = np.zeros((batch, hidden_size))
+    outputs = np.empty((batch, seq, hidden_size))
+    hs = hidden_size
+    for t in range(seq):
+        gates = x_proj[:, t] + h @ w_h
+        i = _sigmoid(gates[:, 0 * hs : 1 * hs])
+        f = _sigmoid(gates[:, 1 * hs : 2 * hs])
+        g = np.tanh(gates[:, 2 * hs : 3 * hs])
+        o = _sigmoid(gates[:, 3 * hs : 4 * hs])
+        c_new = f * c + i * g
+        h_new = o * np.tanh(c_new)
+        if mask is not None:
+            m = mask[:, t : t + 1].astype(np.float64)
+            h = h_new * m + h * (1.0 - m)
+            c = c_new * m + c * (1.0 - m)
+        else:
+            h, c = h_new, c_new
+        outputs[:, t] = h
+    return outputs
+
+
+def node_attention_forward(
+    hidden: np.ndarray,
+    w_query: np.ndarray,
+    w_key: np.ndarray,
+    child_mask: np.ndarray,
+    node_mask: np.ndarray,
+    latent_dim: int,
+) -> np.ndarray:
+    """Numpy twin of :class:`repro.nn.attention.NodeAwareAttention`."""
+    batch, n, _ = hidden.shape
+    if child_mask.shape != (batch, n, n):
+        raise ShapeError(f"child_mask shape {child_mask.shape} != {(batch, n, n)}")
+    queries = hidden @ w_query
+    keys = hidden @ w_key
+    scores = queries @ keys.transpose(0, 2, 1)
+    scores = scores * (1.0 / np.sqrt(latent_dim))
+    bias = np.where(child_mask, 0.0, _NEG_INF)
+    attn = _softmax(scores + bias, axis=-1)
+    has_children = child_mask.any(axis=-1, keepdims=True).astype(np.float64)
+    attn = attn * has_children
+    context = attn @ hidden + hidden * (1.0 - has_children)
+    return masked_mean_forward(context, node_mask)
+
+
+def resource_attention_forward(
+    hidden: np.ndarray,
+    resources: np.ndarray,
+    w_resource: np.ndarray,
+    w_key: np.ndarray,
+    node_mask: np.ndarray,
+    latent_dim: int,
+) -> np.ndarray:
+    """Numpy twin of :class:`repro.nn.attention.ResourceAwareAttention`."""
+    if resources.shape[-1] != w_resource.shape[0]:
+        raise ShapeError(
+            f"expected resource dim {w_resource.shape[0]}, got {resources.shape[-1]}")
+    query = resources @ w_resource                      # (batch, K)
+    keys = hidden @ w_key                               # (batch, n, K)
+    scores = (keys @ query[:, :, None]).squeeze(2)      # (batch, n)
+    scores = scores * (1.0 / np.sqrt(latent_dim))
+    bias = np.where(node_mask, 0.0, _NEG_INF)
+    attn = _softmax(scores + bias, axis=-1)
+    return (hidden * attn[:, :, None]).sum(axis=1)
+
+
+def masked_mean_forward(x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Numpy twin of :func:`repro.nn.functional.masked_mean`."""
+    weights = mask.astype(np.float64)
+    denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+    return (x * weights[:, :, None]).sum(axis=1) * (1.0 / denom)
+
+
+def dense_forward(dense: Sequential, x: np.ndarray) -> np.ndarray:
+    """Eval-mode forward through a Linear/ReLU/Dropout stack, graph-free."""
+    for layer in dense:
+        if isinstance(layer, Linear):
+            x = x @ layer.weight.data
+            if layer.bias is not None:
+                x = x + layer.bias.data
+        elif isinstance(layer, ReLU):
+            x = x * (x > 0)
+        elif isinstance(layer, Dropout):
+            pass  # identity at inference
+        else:
+            raise ShapeError(
+                f"no graph-free kernel for dense layer {type(layer).__name__}")
+    return x
+
+
+def conv1d_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                   kernel_size: int) -> np.ndarray:
+    """Numpy twin of :class:`repro.nn.layers.Conv1d` (im2col, stride 1)."""
+    batch, seq, channels = x.shape
+    if seq < kernel_size:
+        raise ShapeError(f"sequence length {seq} shorter than kernel {kernel_size}")
+    seq_out = seq - kernel_size + 1
+    cols = np.empty((batch, seq_out, kernel_size * channels))
+    for t in range(seq_out):
+        cols[:, t, :] = x[:, t : t + kernel_size, :].reshape(batch, kernel_size * channels)
+    return cols @ weight + bias
+
+
+def raal_forward_inference(model, batch) -> np.ndarray:
+    """Graph-free eval-mode forward of a RAAL-family model.
+
+    Numerically equivalent (≤ 1e-8) to ``model(batch)`` in eval mode,
+    but builds no autograd graph and fuses the LSTM input projections.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.core.raal.RAAL` instance (any ablation variant).
+    batch:
+        A :class:`repro.core.raal.RAALBatch`.
+
+    Returns
+    -------
+    np.ndarray
+        Predicted (log-)costs, shape ``(batch,)``.
+    """
+    config = model.config
+    node_features = np.asarray(batch.node_features, dtype=np.float64)
+    if node_features.shape[2] != config.node_dim:
+        raise ShapeError(
+            f"batch node_dim {node_features.shape[2]} != "
+            f"model node_dim {config.node_dim}")
+
+    emb = node_features @ model.embedding.weight.data
+    if model.embedding.bias is not None:
+        emb = emb + model.embedding.bias.data
+    emb = np.tanh(emb)
+
+    if model.plan_feature is not None:
+        cell = model.plan_feature.cell
+        hidden = fused_lstm_forward(
+            emb, cell.w_x.data, cell.w_h.data, cell.bias.data,
+            mask=batch.node_mask)
+    else:
+        pad_len = config.cnn_kernel - 1
+        if pad_len:
+            batch_size, _, dim = emb.shape
+            emb = np.concatenate([np.zeros((batch_size, pad_len, dim)), emb], axis=1)
+        out = conv1d_forward(emb, model.cnn.weight.data, model.cnn.bias.data,
+                             config.cnn_kernel)
+        hidden = out * (out > 0)
+
+    if model.node_attention is not None:
+        plan_vec = node_attention_forward(
+            hidden, model.node_attention.w_query.data,
+            model.node_attention.w_key.data,
+            batch.child_mask, batch.node_mask, config.latent_dim)
+    else:
+        plan_vec = masked_mean_forward(hidden, batch.node_mask)
+
+    parts = [plan_vec]
+    if model.resource_attention is not None:
+        resources = np.asarray(batch.resources, dtype=np.float64)
+        parts.append(resource_attention_forward(
+            hidden, resources, model.resource_attention.w_resource.data,
+            model.resource_attention.w_key.data,
+            batch.node_mask, config.latent_dim))
+        parts.append(resources)
+    parts.append(np.asarray(batch.extras, dtype=np.float64))
+    joined = np.concatenate(parts, axis=1)
+    return dense_forward(model.dense, joined).squeeze(-1)
