@@ -13,21 +13,28 @@ Commands
     query's candidate plans under a chosen resource allocation.
 ``workload``
     Generate and print a random SQL workload for a dataset.
+``doctor``
+    Validate a persisted predictor: verify the checkpoint manifest
+    (schema version, per-file SHA-256) and run a self-test prediction.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 
+from repro.baselines.gpsj import GPSJCostModel
 from repro.cluster.resources import PAPER_CLUSTER
-from repro.core.persistence import load_predictor, save_predictor
+from repro.core.persistence import load_predictor, save_predictor, verify_checkpoint
 from repro.core.predictor import CostPredictor
 from repro.core.selector import PlanSelector
+from repro.errors import ReproError
 from repro.eval.experiments import ExperimentPipeline, ExperimentScale
 from repro.eval.reporting import render_table
 from repro.plan.builder import analyze
+from repro.reliability.guard import GuardedCostPredictor
 from repro.sql.parser import parse as parse_sql
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 
@@ -60,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--memory-gb", type=float, default=4.0)
     predict.add_argument("--executors", type=int, default=2)
     predict.add_argument("--executor-cores", type=int, default=2)
+
+    doctor = sub.add_parser(
+        "doctor", help="validate a persisted predictor checkpoint")
+    doctor.add_argument("directory", help="checkpoint directory to validate")
+    doctor.add_argument("--no-selftest", action="store_true",
+                        help="skip the self-test prediction (manifest check only)")
 
     workload = sub.add_parser("workload", help="generate a random workload")
     workload.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
@@ -130,13 +143,45 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         network_throughput_mbps=resources.network_throughput_mbps,
         disk_throughput_mbps=resources.disk_throughput_mbps)
 
+    # Guarded prediction: a bad checkpoint or unseen operator degrades
+    # to the analytic GPSJ estimate instead of crashing plan selection.
+    guarded = GuardedCostPredictor(predictor, gpsj=GPSJCostModel(catalog))
     query = analyze(parse_sql(args.sql), catalog)
-    selector = PlanSelector(predictor, catalog)
+    selector = PlanSelector(guarded, catalog)
     result = selector.select(query, resources)
     rows = [[p.label, f"{c:.3f}", "<-- chosen" if p is result.chosen else ""]
             for p, c in zip(result.candidates, result.predicted_costs)]
-    print(render_table(f"predicted costs under {resources}",
-                       ["plan", "predicted seconds", ""], rows))
+    print(render_table(
+        f"predicted costs under {resources} (source: {result.cost_source})",
+        ["plan", "predicted seconds", ""], rows))
+    if result.degraded:
+        print(f"note: learned model degraded to {result.cost_source} — "
+              f"{result.degradation_reason}")
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    report = verify_checkpoint(args.directory)
+    print(report.summary())
+    if not report.ok:
+        return 1
+    if args.no_selftest:
+        return 0
+    # Self-test: load the checkpoint and predict one trivial query's
+    # plans, proving the weights, vocabulary, and encoder round-trip
+    # into a usable predictor — not just intact bytes.
+    from repro.data.imdb import build_imdb_catalog
+    from repro.plan.enumerator import enumerate_plans
+
+    predictor = load_predictor(args.directory)
+    catalog = build_imdb_catalog(scale=0.05)
+    query = analyze(parse_sql("select count(*) from title t"), catalog)
+    plans = enumerate_plans(query, catalog)
+    seconds = predictor.predict(plans[0], PAPER_CLUSTER)
+    if not math.isfinite(seconds) or seconds < 0:
+        print(f"self-test FAILED: predicted {seconds}")
+        return 1
+    print(f"self-test prediction OK ({seconds:.3f}s for a trivial scan plan)")
     return 0
 
 
@@ -159,14 +204,24 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "train": _cmd_train,
     "predict": _cmd_predict,
+    "doctor": _cmd_doctor,
     "workload": _cmd_workload,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) exit non-zero
+    with a one-line message instead of a traceback — a corrupt
+    checkpoint or bad SQL is an operator problem, not a crash.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -6,11 +6,17 @@ from repro.core.advisor import (
     ResourceAdvisor,
     default_profile_grid,
 )
-from repro.core.persistence import load_predictor, save_predictor
+from repro.core.persistence import (
+    CheckpointReport,
+    load_predictor,
+    save_predictor,
+    verify_checkpoint,
+)
 from repro.core.predictor import CostPredictor
 from repro.core.raal import RAAL, RAALBatch, RAALConfig
 from repro.core.selector import PlanSelector, SelectionResult
 from repro.core.trainer import (
+    RecoveryEvent,
     Trainer,
     TrainerConfig,
     TrainingSample,
@@ -29,8 +35,11 @@ __all__ = [
     "TrainResult",
     "collate",
     "CostPredictor",
+    "RecoveryEvent",
     "save_predictor",
     "load_predictor",
+    "verify_checkpoint",
+    "CheckpointReport",
     "PlanSelector",
     "SelectionResult",
     "VariantSpec",

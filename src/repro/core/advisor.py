@@ -41,13 +41,19 @@ class AllocationPrice:
 
 @dataclass
 class Recommendation:
-    """Outcome of a resource search."""
+    """Outcome of a resource search.
+
+    ``cost_source`` records which model produced the runtime estimates
+    when the predictor is guarded (``"raal"`` for the learned model,
+    ``"gpsj"``/``"heuristic"`` when the fallback chain degraded).
+    """
 
     profile: ResourceProfile
     plan: PhysicalPlan
     predicted_seconds: float
     hourly_price: float
     candidates_evaluated: int
+    cost_source: str = "raal"
 
     @property
     def predicted_cost_dollars(self) -> float:
@@ -81,17 +87,22 @@ class ResourceAdvisor:
 
     def _best_plan_per_profile(self, plans: list[PhysicalPlan],
                                profiles: list[ResourceProfile]):
-        """For each profile, the predicted-best plan and its runtime."""
+        """For each profile, the predicted-best plan, runtime, and source."""
         if not plans:
             raise PlanError("advisor needs at least one candidate plan")
         if not profiles:
             raise PlanError("advisor needs at least one resource profile")
         # Grid prediction: each plan is encoded once (not once per
         # profile) thanks to the encoder's plan-side cache.
-        per_profile = self.predictor.predict_grid(plans, profiles)
+        source = "raal"
+        if hasattr(self.predictor, "predict_grid_explained"):
+            explained = self.predictor.predict_grid_explained(plans, profiles)
+            per_profile, source = explained.costs, explained.source
+        else:
+            per_profile = self.predictor.predict_grid(plans, profiles)
         best_idx = per_profile.argmin(axis=1)
         best_costs = per_profile.min(axis=1)
-        return best_idx, best_costs
+        return best_idx, best_costs, source
 
     def cheapest_meeting_sla(self, plans: list[PhysicalPlan],
                              sla_seconds: float,
@@ -101,7 +112,7 @@ class ResourceAdvisor:
         Returns ``None`` when no profile in the grid meets the SLA.
         """
         profiles = profiles if profiles is not None else default_profile_grid()
-        best_idx, best_costs = self._best_plan_per_profile(plans, profiles)
+        best_idx, best_costs, source = self._best_plan_per_profile(plans, profiles)
         feasible = [i for i in range(len(profiles)) if best_costs[i] <= sla_seconds]
         if not feasible:
             return None
@@ -112,6 +123,7 @@ class ResourceAdvisor:
             predicted_seconds=float(best_costs[cheapest]),
             hourly_price=self.price.hourly(profiles[cheapest]),
             candidates_evaluated=len(profiles) * len(plans),
+            cost_source=source,
         )
 
     def fastest_within_budget(self, plans: list[PhysicalPlan],
@@ -123,7 +135,7 @@ class ResourceAdvisor:
                       if self.price.hourly(p) <= max_hourly_price]
         if not affordable:
             return None
-        best_idx, best_costs = self._best_plan_per_profile(plans, affordable)
+        best_idx, best_costs, source = self._best_plan_per_profile(plans, affordable)
         winner = int(np.argmin(best_costs))
         return Recommendation(
             profile=affordable[winner],
@@ -131,4 +143,5 @@ class ResourceAdvisor:
             predicted_seconds=float(best_costs[winner]),
             hourly_price=self.price.hourly(affordable[winner]),
             candidates_evaluated=len(affordable) * len(plans),
+            cost_source=source,
         )

@@ -24,6 +24,12 @@ class CostPredictor:
     is graph-free (no autograd), and batches are length-bucketed. Pass
     ``fast=False`` to force the Tensor/autograd forward (still under
     ``no_grad``); predictions agree to ≤ 1e-8.
+
+    This class is the *unguarded* path: encoding or forward failures
+    propagate to the caller. Serving code that must never crash plan
+    selection should wrap it in
+    :class:`repro.reliability.guard.GuardedCostPredictor`, which adds
+    input validation and the RAAL → GPSJ → heuristic fallback chain.
     """
 
     def __init__(self, encoder: PlanEncoder, trainer: Trainer) -> None:

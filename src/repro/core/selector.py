@@ -25,17 +25,31 @@ __all__ = ["SelectionResult", "PlanSelector"]
 
 @dataclass
 class SelectionResult:
-    """Outcome of selecting a plan for one query."""
+    """Outcome of selecting a plan for one query.
+
+    ``cost_source`` / ``degradation_reason`` carry provenance when the
+    predictor is a
+    :class:`~repro.reliability.guard.GuardedCostPredictor`: which model
+    in the fallback chain produced the costs, and why the chain
+    degraded (``None`` when the learned model answered).
+    """
 
     chosen: PhysicalPlan
     default: PhysicalPlan
     candidates: list[PhysicalPlan]
     predicted_costs: np.ndarray
+    cost_source: str = "raal"
+    degradation_reason: str | None = None
 
     @property
     def chose_default(self) -> bool:
         """Whether the model picked the same plan as the rule-based default."""
         return self.chosen.signature() == self.default.signature()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the costs came from a fallback stage, not the learned model."""
+        return self.cost_source != "raal"
 
 
 class PlanSelector:
@@ -65,12 +79,21 @@ class PlanSelector:
         plans = candidates or enumerate_plans(query, self.catalog, self.config)
         if not plans:
             raise PlanError("no candidate plans to select from")
-        costs = self.predictor.predict_many(
-            [(p, resources) for p in plans], fast=fast)
+        pairs = [(p, resources) for p in plans]
+        source, reason = "raal", None
+        if hasattr(self.predictor, "predict_many_explained"):
+            # Guarded predictor: run the fallback chain and keep the
+            # provenance it reports.
+            explained = self.predictor.predict_many_explained(pairs, fast=fast)
+            costs, source, reason = explained.costs, explained.source, explained.reason
+        else:
+            costs = self.predictor.predict_many(pairs, fast=fast)
         best = int(np.argmin(costs))
         return SelectionResult(
             chosen=plans[best],
             default=plans[0],
             candidates=list(plans),
             predicted_costs=costs,
+            cost_source=source,
+            degradation_reason=reason,
         )

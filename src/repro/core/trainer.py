@@ -17,7 +17,8 @@ from repro.encoding.plan_encoder import EncodedPlan
 from repro.errors import TrainingError
 from repro.nn import Adam, StepLR, clip_grad_norm, mse_loss, no_grad, Tensor
 
-__all__ = ["TrainingSample", "TrainerConfig", "TrainResult", "Trainer", "collate"]
+__all__ = ["TrainingSample", "TrainerConfig", "TrainResult", "RecoveryEvent",
+           "Trainer", "collate"]
 
 
 @dataclass
@@ -37,6 +38,17 @@ def collate(samples: list[TrainingSample], max_nodes: int | None = None) -> RAAL
     """Zero-pad a list of samples into one :class:`RAALBatch`."""
     if not samples:
         raise TrainingError("cannot collate an empty batch")
+    node_dims = {s.encoded.node_features.shape[1] for s in samples}
+    if len(node_dims) > 1:
+        raise TrainingError(
+            f"inconsistent node feature dims in batch: {sorted(node_dims)} — "
+            "all samples must come from the same encoder configuration "
+            "(mixing one-hot and word2vec encodings produces different widths)")
+    for name, dims in (("resources", {s.encoded.resources.shape for s in samples}),
+                       ("extras", {s.encoded.extras.shape for s in samples})):
+        if len(dims) > 1:
+            raise TrainingError(
+                f"inconsistent {name} shapes in batch: {sorted(dims)}")
     n = max(s.encoded.num_nodes for s in samples)
     if max_nodes is not None:
         n = max(n, max_nodes)
@@ -74,8 +86,28 @@ class TrainerConfig:
     # ``lr_decay_epochs`` epochs (StepLR).
     lr_decay_epochs: int | None = None
     lr_decay_gamma: float = 0.5
+    # Upper clamp on log-space predictions before ``expm1`` — bounds
+    # ``predict_seconds`` output at ``expm1(log_clamp_max)``. Clamped
+    # (saturated) predictions are counted in ``Trainer.last_saturated``.
+    log_clamp_max: float = 25.0
+    # Divergence guard: an epoch whose loss is non-finite, or spikes
+    # above ``divergence_spike_factor`` × the best train loss so far,
+    # triggers a rollback to the best state with a halved learning
+    # rate; after ``divergence_max_recoveries`` such events fit()
+    # raises TrainingError instead of returning a poisoned model.
+    divergence_max_recoveries: int = 3
+    divergence_spike_factor: float = 50.0
     seed: int = 0
     verbose: bool = False
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One divergence recovery during :meth:`Trainer.fit`."""
+
+    epoch: int
+    reason: str
+    learning_rate: float  # the halved LR training resumed with
 
 
 @dataclass
@@ -86,6 +118,7 @@ class TrainResult:
     val_losses: list[float] = field(default_factory=list)
     best_epoch: int = 0
     train_seconds: float = 0.0
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
 
     @property
     def final_train_loss(self) -> float:
@@ -101,9 +134,22 @@ class Trainer:
     def __init__(self, model: RAAL, config: TrainerConfig | None = None) -> None:
         self.model = model
         self.config = config or TrainerConfig()
+        #: Count of predictions clamped at ``log_clamp_max`` in the most
+        #: recent :meth:`predict_seconds` call (saturation indicator).
+        self.last_saturated = 0
 
     def fit(self, samples: list[TrainingSample]) -> TrainResult:
-        """Train the model in place; returns the loss history."""
+        """Train the model in place; returns the loss history.
+
+        Divergence guard: a non-finite or spiking epoch loss rolls the
+        model back to the best state seen so far and restarts the
+        optimizer at half the learning rate (fresh Adam moments — the
+        stale ones were computed from the diverged trajectory). Each
+        recovery is recorded in :attr:`TrainResult.recoveries`; after
+        ``divergence_max_recoveries`` events :class:`TrainingError` is
+        raised with the model restored to its best finite state, so a
+        silently-NaN fitted model can never escape this method.
+        """
         cfg = self.config
         if len(samples) < 4:
             raise TrainingError(f"need at least 4 samples, got {len(samples)}")
@@ -113,12 +159,19 @@ class Trainer:
         val_samples = [samples[i] for i in order[:n_val]]
         train_samples = [samples[i] for i in order[n_val:]]
 
-        optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate,
-                         weight_decay=cfg.weight_decay)
-        scheduler = (StepLR(optimizer, cfg.lr_decay_epochs, cfg.lr_decay_gamma)
+        current_lr = cfg.learning_rate
+
+        def make_optimizer(lr: float):
+            opt = Adam(self.model.parameters(), lr=lr,
+                       weight_decay=cfg.weight_decay)
+            sched = (StepLR(opt, cfg.lr_decay_epochs, cfg.lr_decay_gamma)
                      if cfg.lr_decay_epochs else None)
+            return opt, sched
+
+        optimizer, scheduler = make_optimizer(current_lr)
         result = TrainResult()
         best_val = np.inf
+        best_train = np.inf
         best_state = self.model.state_dict()
         patience_left = cfg.early_stopping_patience
         start = time.perf_counter()
@@ -143,10 +196,33 @@ class Trainer:
             val_loss = self.evaluate_loss(val_samples)
             result.train_losses.append(train_loss)
             result.val_losses.append(val_loss)
+
+            divergence = self._divergence_reason(train_loss, val_loss, best_train)
+            if divergence is not None:
+                self.model.load_state_dict(best_state)
+                current_lr *= 0.5
+                event = RecoveryEvent(epoch=epoch, reason=divergence,
+                                      learning_rate=current_lr)
+                result.recoveries.append(event)
+                if cfg.verbose:
+                    print(f"epoch {epoch:3d}  DIVERGED ({divergence}); "
+                          f"rolled back, lr -> {current_lr:g}")
+                if len(result.recoveries) > cfg.divergence_max_recoveries:
+                    self.model.eval()
+                    result.train_seconds = time.perf_counter() - start
+                    raise TrainingError(
+                        f"training diverged {len(result.recoveries)} times "
+                        f"(last: {divergence} at epoch {epoch}); model rolled "
+                        "back to its best finite state")
+                optimizer, scheduler = make_optimizer(current_lr)
+                patience_left = cfg.early_stopping_patience
+                continue
+
             if scheduler is not None:
                 scheduler.step()
             if cfg.verbose:
                 print(f"epoch {epoch:3d}  train={train_loss:.4f}  val={val_loss:.4f}")
+            best_train = min(best_train, train_loss)
             if val_loss < best_val - 1e-6:
                 best_val = val_loss
                 best_state = self.model.state_dict()
@@ -158,8 +234,28 @@ class Trainer:
                     break
         self.model.load_state_dict(best_state)
         self.model.eval()
+        self._require_finite_parameters()
         result.train_seconds = time.perf_counter() - start
         return result
+
+    def _divergence_reason(self, train_loss: float, val_loss: float,
+                           best_train: float) -> str | None:
+        """Why this epoch counts as diverged, or ``None`` when healthy."""
+        if not (np.isfinite(train_loss) and np.isfinite(val_loss)):
+            return f"non-finite loss (train={train_loss}, val={val_loss})"
+        factor = self.config.divergence_spike_factor
+        if np.isfinite(best_train) and train_loss > factor * max(best_train, 1e-12):
+            return (f"loss spike (train={train_loss:.4g} > "
+                    f"{factor:g} x best {best_train:.4g})")
+        return None
+
+    def _require_finite_parameters(self) -> None:
+        """Refuse to hand back a model with NaN/Inf parameters."""
+        for name, param in self.model.named_parameters():
+            if not np.all(np.isfinite(param.data)):
+                raise TrainingError(
+                    f"fitted model parameter {name!r} contains non-finite "
+                    "values — training never produced a finite state")
 
     def evaluate_loss(self, samples: list[TrainingSample]) -> float:
         """Mean MSE (log space) over samples, in eval mode."""
@@ -215,6 +311,16 @@ class Trainer:
 
     def predict_seconds(self, encoded: list[EncodedPlan], fast: bool = True,
                         bucket: bool = True) -> np.ndarray:
-        """Predicted costs in seconds (inverse of the log transform)."""
+        """Predicted costs in seconds (inverse of the log transform).
+
+        Log-space predictions are clamped to ``[0, log_clamp_max]``
+        before ``expm1``. Predictions that hit the upper clamp are
+        *saturated* — the model asked for a cost beyond its trained
+        range — and their count is surfaced in :attr:`last_saturated`
+        rather than silently hidden (the guarded predictor treats a
+        saturated batch as a degradation trigger).
+        """
         log_preds = self.predict_log(encoded, fast=fast, bucket=bucket)
-        return np.expm1(np.clip(log_preds, 0.0, 25.0))
+        hi = self.config.log_clamp_max
+        self.last_saturated = int(np.count_nonzero(log_preds > hi))
+        return np.expm1(np.clip(log_preds, 0.0, hi))

@@ -26,7 +26,7 @@ import numpy as np
 from repro.cluster.resources import ResourceProfile
 from repro.encoding.node_semantic import NodeSemanticEncoder
 from repro.encoding.onehot import OneHotOperatorEncoder
-from repro.encoding.structure import StructureEncoder
+from repro.encoding.structure import DEFAULT_MAX_NODES, StructureEncoder
 from repro.errors import EncodingError
 from repro.plan.physical import PhysicalPlan
 from repro.text.word2vec import Word2VecConfig
@@ -161,7 +161,7 @@ class PlanEncoder:
     @classmethod
     def fit(cls, plans: list[PhysicalPlan],
             word2vec_config: Word2VecConfig | None = None,
-            max_nodes: int = 48,
+            max_nodes: int = DEFAULT_MAX_NODES,
             use_structure: bool = True,
             use_onehot: bool = False,
             cache_size: int = 256) -> "PlanEncoder":
@@ -305,7 +305,7 @@ class PlanEncoder:
                 depths[id(node)] = 1
         plan_depth = depths[id(plan.root)]
 
-        max_nodes = self.structure.max_nodes if self.structure else 48
+        max_nodes = self.structure.max_nodes if self.structure else DEFAULT_MAX_NODES
         return np.array([
             math.log1p(est_result) / _LOG_ROWS_CAP,
             math.log1p(est_bytes) / _LOG_BYTES_CAP,

@@ -14,7 +14,12 @@ import numpy as np
 from repro.errors import EncodingError
 from repro.plan.physical import PhysicalPlan
 
-__all__ = ["StructureEncoder"]
+__all__ = ["StructureEncoder", "DEFAULT_MAX_NODES"]
+
+#: Default width of the structure vectors — the padded node-slot count
+#: shared by every component that must agree on plan capacity (the
+#: encoder, persistence metadata, and the prediction input guard).
+DEFAULT_MAX_NODES = 48
 
 
 class StructureEncoder:
@@ -27,7 +32,7 @@ class StructureEncoder:
         many node slots; larger plans are rejected).
     """
 
-    def __init__(self, max_nodes: int = 48) -> None:
+    def __init__(self, max_nodes: int = DEFAULT_MAX_NODES) -> None:
         if max_nodes < 1:
             raise EncodingError("max_nodes must be positive")
         self.max_nodes = max_nodes

@@ -64,5 +64,17 @@ class TrainingError(ReproError):
     """Raised for invalid training configurations or diverging training."""
 
 
+class CheckpointError(TrainingError):
+    """Raised when a persisted checkpoint is missing, torn, or corrupt.
+
+    Subclasses :class:`TrainingError` because persistence historically
+    raised that; existing ``except TrainingError`` handlers keep working.
+    """
+
+
+class PredictionError(ReproError):
+    """Raised when guarded prediction exhausts every fallback stage."""
+
+
 class DatasetError(ReproError):
     """Raised for invalid dataset manipulations (e.g. empty split)."""

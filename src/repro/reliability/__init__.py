@@ -1,0 +1,45 @@
+"""Reliability layer: the learned cost model may degrade, never crash.
+
+Four pieces, composed by :class:`GuardedCostPredictor`:
+
+* :mod:`repro.reliability.guard` — the RAAL → GPSJ → heuristic fallback
+  chain with input validation and per-answer provenance;
+* :mod:`repro.reliability.circuit` — per-stage circuit breakers;
+* :mod:`repro.reliability.retry` — bounded retry with backoff;
+* :mod:`repro.reliability.faults` — deterministic fault injection used
+  by the test suite to prove every degradation path engages.
+"""
+
+from repro.reliability.circuit import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.reliability.faults import FaultInjector
+from repro.reliability.guard import (
+    DEFAULT_CHAIN,
+    ExplainedPredictions,
+    GuardedCostPredictor,
+    GuardedPrediction,
+    static_heuristic_cost,
+)
+from repro.reliability.retry import RetryPolicy, compute_backoff, retry_call
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "FaultInjector",
+    "GuardedCostPredictor",
+    "GuardedPrediction",
+    "ExplainedPredictions",
+    "static_heuristic_cost",
+    "DEFAULT_CHAIN",
+    "RetryPolicy",
+    "compute_backoff",
+    "retry_call",
+]

@@ -1,0 +1,102 @@
+"""Per-stage circuit breaker for the guarded prediction chain.
+
+Classic three-state breaker:
+
+* **closed** — calls flow normally; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the stage
+  is skipped outright (no call is made) until ``cooldown_seconds`` have
+  elapsed.
+* **half-open** — after the cooldown one probe call is allowed through;
+  success closes the breaker, failure re-opens it (and restarts the
+  cooldown).
+
+The clock is injectable so tests drive state transitions
+deterministically, without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold and recovery cooldown of one breaker."""
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}")
+        if self.cooldown_seconds < 0:
+            raise ReproError("cooldown_seconds must be non-negative")
+
+
+class CircuitBreaker:
+    """Tracks the health of one fallback-chain stage."""
+
+    def __init__(self, config: BreakerConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state (``closed`` / ``open`` / ``half_open``).
+
+        Reading the state does not advance it; only :meth:`allow` moves
+        an open breaker to half-open once the cooldown has elapsed.
+        """
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures recorded since the last success."""
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether the protected call may run now.
+
+        An open breaker transitions to half-open (permitting one probe)
+        once the cooldown has elapsed.
+        """
+        if self._state == OPEN:
+            if self._clock() - self._opened_at >= self.config.cooldown_seconds:
+                self._state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """Protected call succeeded: reset to closed."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Protected call failed: count it, trip or re-open as needed."""
+        self._consecutive_failures += 1
+        if (self._state == HALF_OPEN
+                or self._consecutive_failures >= self.config.failure_threshold):
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        """Force the breaker back to pristine closed state."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0

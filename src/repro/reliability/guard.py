@@ -1,0 +1,322 @@
+"""Guarded cost prediction: the learned model may never sink a query.
+
+A learned cost model sitting inside the optimizer loop (plan selection,
+resource recommendation) must degrade, not crash: a corrupt checkpoint,
+a poisoned vocabulary, an oversized plan, or a NaN forward should fall
+back to the analytic GPSJ estimate — and if even that fails, to a
+static heuristic that cannot fail. :class:`GuardedCostPredictor` wraps
+a :class:`~repro.core.predictor.CostPredictor` with exactly that chain:
+
+    RAAL (learned) → GPSJ (analytic) → static heuristic
+
+Every stage is protected by a circuit breaker (skip a stage outright
+after K consecutive failures, re-probe after a cooldown) and the RAAL
+stage additionally retries transient faults with bounded backoff.
+Every answer carries provenance: which stage produced it and, when the
+chain degraded, why.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.gpsj import GPSJCostModel
+from repro.cluster.resources import ResourceProfile
+from repro.core.predictor import CostPredictor
+from repro.errors import PredictionError
+from repro.plan.physical import PhysicalPlan
+from repro.reliability.circuit import BreakerConfig, CircuitBreaker
+from repro.reliability.retry import RetryPolicy, retry_call
+
+__all__ = [
+    "GuardedPrediction",
+    "ExplainedPredictions",
+    "GuardedCostPredictor",
+    "static_heuristic_cost",
+    "DEFAULT_CHAIN",
+]
+
+DEFAULT_CHAIN = ("raal", "gpsj", "heuristic")
+
+#: Fallback-of-last-resort cost when even the heuristic inputs are junk.
+_FLOOR_SECONDS = 1.0
+
+
+def static_heuristic_cost(plan: PhysicalPlan, resources: ResourceProfile) -> float:
+    """Total-function cost estimate used when every model is down.
+
+    A crude linear model — per-operator overhead plus scan volume over
+    aggregate disk bandwidth — clamped to a positive finite value. It
+    exists to keep plan selection *ranked sanely* (bigger plans cost
+    more), not to be accurate.
+    """
+    try:
+        nodes = plan.nodes()
+        total_bytes = 0.0
+        for node in nodes:
+            est = float(node.est_bytes)
+            if np.isfinite(est) and est > 0:
+                total_bytes += est
+        slots = max(int(resources.task_slots), 1)
+        disk = float(resources.disk_throughput_mbps)
+        if not np.isfinite(disk) or disk <= 0:
+            disk = 100.0
+        seconds = 0.5 * len(nodes) + total_bytes * 6000.0 / (disk * 1e6 * slots)
+        if not np.isfinite(seconds) or seconds <= 0:
+            return _FLOOR_SECONDS
+        return float(seconds)
+    except Exception:
+        return _FLOOR_SECONDS
+
+
+@dataclass(frozen=True)
+class GuardedPrediction:
+    """One guarded cost estimate with provenance."""
+
+    seconds: float
+    source: str
+    reason: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the answer came from a fallback stage."""
+        return self.source != DEFAULT_CHAIN[0]
+
+
+@dataclass(frozen=True)
+class ExplainedPredictions:
+    """A batch of guarded cost estimates with shared provenance.
+
+    All costs in one call come from the same stage — the chain degrades
+    per *request*, not per sample, so a selector never ranks plans
+    scored by different models against each other.
+    """
+
+    costs: np.ndarray
+    source: str
+    reason: str | None = None
+
+
+@dataclass
+class _StageStats:
+    """Per-stage call accounting (observability for tests and doctor)."""
+
+    served: int = 0
+    failures: int = 0
+    skipped_open: int = 0
+    rejected_input: int = 0
+
+
+class GuardedCostPredictor:
+    """Fallback-chain wrapper around a trained :class:`CostPredictor`.
+
+    Duck-type compatible with :class:`CostPredictor` (``predict``,
+    ``predict_many``, ``predict_grid``), so :class:`PlanSelector` and
+    :class:`ResourceAdvisor` accept it unchanged — and when they detect
+    the ``*_explained`` variants they surface provenance in their
+    results.
+
+    Parameters
+    ----------
+    predictor:
+        The trained learned-model predictor (the "raal" stage).
+    gpsj:
+        Analytic fallback model; when ``None`` the "gpsj" stage reports
+        itself unavailable and the chain skips to the heuristic.
+    chain:
+        Stage order; a subset/reordering of ``("raal", "gpsj",
+        "heuristic")``.
+    breaker_config:
+        Trip threshold / cooldown shared by each stage's breaker.
+    retry_policy:
+        Bounded-backoff retry applied to the RAAL stage only (the
+        analytic stages are deterministic — retrying them is pointless).
+    clock / sleep:
+        Injectable time sources for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        predictor: CostPredictor,
+        gpsj: GPSJCostModel | None = None,
+        chain: tuple[str, ...] = DEFAULT_CHAIN,
+        breaker_config: BreakerConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        unknown = set(chain) - set(DEFAULT_CHAIN)
+        if unknown:
+            raise PredictionError(f"unknown fallback stages: {sorted(unknown)}")
+        if not chain:
+            raise PredictionError("fallback chain cannot be empty")
+        self.predictor = predictor
+        self.gpsj = gpsj
+        self.chain = tuple(chain)
+        self.retry_policy = retry_policy or RetryPolicy(attempts=2, base_delay=0.0)
+        self._sleep = sleep
+        self.breakers = {
+            stage: CircuitBreaker(config=breaker_config, clock=clock)
+            for stage in self.chain
+        }
+        self.stats = {stage: _StageStats() for stage in self.chain}
+
+    # -- CostPredictor-compatible surface ---------------------------------
+    @property
+    def encoder(self):
+        """The wrapped predictor's encoder (CostPredictor compatibility)."""
+        return self.predictor.encoder
+
+    @property
+    def trainer(self):
+        """The wrapped predictor's trainer (CostPredictor compatibility)."""
+        return self.predictor.trainer
+
+    def predict(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
+        """Guarded cost (seconds) of one (plan, resources) pair."""
+        return self.predict_explained(plan, resources).seconds
+
+    def predict_explained(self, plan: PhysicalPlan,
+                          resources: ResourceProfile) -> GuardedPrediction:
+        """Guarded cost of one pair, with provenance."""
+        explained = self.predict_many_explained([(plan, resources)])
+        return GuardedPrediction(
+            seconds=float(explained.costs[0]),
+            source=explained.source,
+            reason=explained.reason,
+        )
+
+    def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
+                     fast: bool = True) -> np.ndarray:
+        """Guarded cost vector (drop-in for ``CostPredictor.predict_many``)."""
+        return self.predict_many_explained(pairs, fast=fast).costs
+
+    def predict_grid(self, plans: list[PhysicalPlan],
+                     profiles: list[ResourceProfile],
+                     fast: bool = True) -> np.ndarray:
+        """Guarded cost matrix (drop-in for ``CostPredictor.predict_grid``)."""
+        return self.predict_grid_explained(plans, profiles, fast=fast).costs
+
+    def predict_grid_explained(self, plans: list[PhysicalPlan],
+                               profiles: list[ResourceProfile],
+                               fast: bool = True) -> ExplainedPredictions:
+        """Guarded ``(len(profiles), len(plans))`` grid with provenance."""
+        pairs = [(plan, profile) for profile in profiles for plan in plans]
+        explained = self.predict_many_explained(pairs, fast=fast)
+        return ExplainedPredictions(
+            costs=explained.costs.reshape(len(profiles), len(plans)),
+            source=explained.source,
+            reason=explained.reason,
+        )
+
+    # -- the chain ---------------------------------------------------------
+    def predict_many_explained(
+        self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
+        fast: bool = True,
+    ) -> ExplainedPredictions:
+        """Run the fallback chain for a batch of (plan, resources) pairs.
+
+        Tries each stage in order. A stage is skipped without running
+        when its breaker is open; input-validation rejections (bad
+        *request*, e.g. an oversized plan) skip the RAAL stage without
+        counting against its breaker, since they say nothing about the
+        model's health. Raises :class:`PredictionError` only when every
+        stage fails.
+        """
+        if not pairs:
+            return ExplainedPredictions(costs=np.zeros(0), source=self.chain[0])
+        reasons: list[str] = []
+        for stage in self.chain:
+            breaker = self.breakers[stage]
+            stats = self.stats[stage]
+            if stage == "raal":
+                problem = self._validate_inputs(pairs)
+                if problem is not None:
+                    stats.rejected_input += 1
+                    reasons.append(f"raal: {problem}")
+                    continue
+            if not breaker.allow():
+                stats.skipped_open += 1
+                reasons.append(f"{stage}: circuit open")
+                continue
+            try:
+                costs = self._run_stage(stage, pairs, fast=fast)
+            except Exception as exc:  # reliability boundary: degrade, never crash
+                breaker.record_failure()
+                stats.failures += 1
+                reasons.append(f"{stage}: {exc}")
+                continue
+            breaker.record_success()
+            stats.served += 1
+            return ExplainedPredictions(
+                costs=costs, source=stage,
+                reason="; ".join(reasons) or None,
+            )
+        raise PredictionError(
+            "all fallback stages failed: " + "; ".join(reasons))
+
+    # -- stages ------------------------------------------------------------
+    def _run_stage(self, stage: str, pairs, fast: bool) -> np.ndarray:
+        if stage == "raal":
+            return retry_call(
+                lambda: self._raal_costs(pairs, fast=fast),
+                policy=self.retry_policy, sleep=self._sleep)
+        if stage == "gpsj":
+            return self._gpsj_costs(pairs)
+        return self._heuristic_costs(pairs)
+
+    def _raal_costs(self, pairs, fast: bool) -> np.ndarray:
+        encoded = self.predictor.encoder.encode_many(pairs)
+        bad = [i for i, e in enumerate(encoded)
+               if not (np.all(np.isfinite(e.node_features))
+                       and np.all(np.isfinite(e.resources))
+                       and np.all(np.isfinite(e.extras)))]
+        if bad:
+            raise PredictionError(
+                f"non-finite encoded features for {len(bad)} of "
+                f"{len(encoded)} samples (first at index {bad[0]})")
+        costs = self.predictor.trainer.predict_seconds(encoded, fast=fast)
+        if not np.all(np.isfinite(costs)):
+            raise PredictionError("model produced non-finite costs")
+        saturated = getattr(self.predictor.trainer, "last_saturated", 0)
+        if saturated:
+            raise PredictionError(
+                f"model output saturated the log-cost clamp for "
+                f"{saturated} of {len(costs)} samples")
+        return costs
+
+    def _gpsj_costs(self, pairs) -> np.ndarray:
+        if self.gpsj is None:
+            raise PredictionError("no GPSJ model configured")
+        costs = np.array([self.gpsj.estimate(plan, resources)
+                          for plan, resources in pairs])
+        if not np.all(np.isfinite(costs)) or np.any(costs < 0):
+            raise PredictionError("GPSJ produced non-finite or negative costs")
+        return costs
+
+    def _heuristic_costs(self, pairs) -> np.ndarray:
+        return np.array([static_heuristic_cost(plan, resources)
+                         for plan, resources in pairs])
+
+    # -- input validation --------------------------------------------------
+    def _validate_inputs(self, pairs) -> str | None:
+        """Reason string when the request cannot go to the learned model."""
+        structure = self.predictor.encoder.structure
+        max_nodes = structure.max_nodes if structure is not None else None
+        for i, (plan, resources) in enumerate(pairs):
+            if max_nodes is not None and plan.num_nodes > max_nodes:
+                return (f"plan {i} has {plan.num_nodes} nodes, exceeding "
+                        f"the encoder's max_nodes={max_nodes}")
+            features = resources.as_features()
+            if not np.all(np.isfinite(features)):
+                return f"resource profile {i} has non-finite features"
+            if resources.executor_memory_gb <= 0 or resources.task_slots < 1:
+                return f"resource profile {i} has non-positive resources"
+            for node in plan.nodes():
+                if not (np.isfinite(node.est_rows) and np.isfinite(node.est_bytes)):
+                    return f"plan {i} carries non-finite cardinality estimates"
+        return None

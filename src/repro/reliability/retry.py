@@ -1,0 +1,83 @@
+"""Bounded retry with exponential backoff.
+
+A small, dependency-free helper used by the guarded prediction path to
+absorb transient failures before the fallback chain engages. The sleep
+function is injectable so tests run without real delays, and the
+backoff schedule is a pure function (:func:`compute_backoff`) that can
+be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["RetryPolicy", "compute_backoff", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of a bounded retry loop.
+
+    Parameters
+    ----------
+    attempts:
+        Total number of calls made (first try included); must be >= 1.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay:
+        Cap on any single sleep, in seconds.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ReproError(f"retry attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ReproError(f"retry multiplier must be >= 1, got {self.multiplier}")
+
+
+def compute_backoff(policy: RetryPolicy, retry_index: int) -> float:
+    """Sleep (seconds) before retry number ``retry_index`` (0-based)."""
+    return min(policy.base_delay * policy.multiplier ** retry_index,
+               policy.max_delay)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` up to ``policy.attempts`` times, backing off between tries.
+
+    Exceptions not matching ``retry_on`` propagate immediately; the last
+    matching exception propagates once attempts are exhausted.
+    ``on_retry(retry_index, exc)`` is invoked before each sleep — useful
+    for provenance logging.
+    """
+    policy = policy or RetryPolicy()
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == policy.attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(compute_backoff(policy, attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.reliability import FaultInjector
 
 
 class TestParser:
@@ -65,3 +66,65 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "<-- chosen" in out
+        assert "source: raal" in out
+
+
+class TestErrorBoundary:
+    def test_missing_model_exits_nonzero_with_one_liner(self, tmp_path, capsys):
+        code = main([
+            "predict", "--model", str(tmp_path / "nope"),
+            "--catalog-scale", "0.05",
+            "--sql", "select count(*) from title t"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_bad_sql_exits_nonzero(self, shared_model_dir, capsys):
+        code = main([
+            "predict", "--model", shared_model_dir, "--catalog-scale", "0.05",
+            "--sql", "select frobnicate wat"])
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+@pytest.fixture(scope="module")
+def shared_model_dir(tmp_path_factory):
+    """One trained checkpoint shared by the doctor/error tests."""
+    model_dir = str(tmp_path_factory.mktemp("cli-model") / "model")
+    code = main(["train", "--queries", "12", "--epochs", "2",
+                 "--catalog-scale", "0.05", "--out", model_dir])
+    assert code == 0
+    return model_dir
+
+
+class TestDoctor:
+    def test_doctor_ok_on_healthy_checkpoint(self, shared_model_dir, capsys):
+        code = main(["doctor", shared_model_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "self-test prediction OK" in out
+
+    def test_doctor_manifest_only_mode(self, shared_model_dir, capsys):
+        code = main(["doctor", shared_model_dir, "--no-selftest"])
+        assert code == 0
+        assert "self-test" not in capsys.readouterr().out
+
+    def test_doctor_flags_truncated_checkpoint(self, shared_model_dir,
+                                               tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(shared_model_dir, broken)
+        FaultInjector().truncate_file(broken / "model.npz", keep_fraction=0.4)
+        code = main(["doctor", str(broken)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "model.npz" in out
+        assert "FAILED" in out
+
+    def test_doctor_missing_directory(self, tmp_path, capsys):
+        code = main(["doctor", str(tmp_path / "ghost")])
+        assert code == 1

@@ -1,11 +1,22 @@
-"""Tests for model persistence: word2vec and the full cost predictor."""
+"""Tests for model persistence: word2vec, the full cost predictor, and
+checkpoint integrity (manifest verification under fault injection)."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.core import CostPredictor, load_predictor, save_predictor, variant
-from repro.errors import TrainingError
+from repro.core import (
+    CostPredictor,
+    load_predictor,
+    save_predictor,
+    variant,
+    verify_checkpoint,
+)
+from repro.core.persistence import CHECKPOINT_SCHEMA_VERSION
+from repro.errors import CheckpointError, TrainingError
 from repro.eval.experiments import SMOKE, ExperimentPipeline
+from repro.reliability import FaultInjector
 from repro.text import Word2Vec, Word2VecConfig
 
 
@@ -89,3 +100,108 @@ class TestPredictorPersistence:
         assert not (tmp_path / "oh" / "word2vec.npz").exists()
         after = load_predictor(tmp_path / "oh").predict(record.plan, record.resources)
         assert before == pytest.approx(after, abs=1e-9)
+
+
+@pytest.fixture()
+def saved_dir(pipeline, trained, tmp_path):
+    """A freshly saved checkpoint directory, private to each test."""
+    predictor = CostPredictor(trained.encoder, trained.trainer)
+    path = tmp_path / "model"
+    save_predictor(predictor, path)
+    return path
+
+
+class TestCheckpointIntegrity:
+    def test_manifest_written_and_verifies(self, saved_dir):
+        manifest = json.loads((saved_dir / "manifest.json").read_text())
+        assert manifest["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        assert set(manifest["files"]) == {"meta.json", "model.npz", "word2vec.npz"}
+        report = verify_checkpoint(saved_dir)
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_no_temp_files_left_behind(self, saved_dir):
+        leftovers = [p.name for p in saved_dir.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_truncated_model_detected_and_named(self, saved_dir):
+        FaultInjector().truncate_file(saved_dir / "model.npz", keep_fraction=0.5)
+        report = verify_checkpoint(saved_dir)
+        assert not report.ok
+        assert "model.npz" in report.corrupt
+        with pytest.raises(CheckpointError, match="model.npz"):
+            load_predictor(saved_dir)
+
+    def test_truncated_model_fails_even_non_strict(self, saved_dir):
+        FaultInjector().truncate_file(saved_dir / "model.npz", keep_fraction=0.3)
+        with pytest.raises(CheckpointError, match="model.npz"):
+            with pytest.warns(UserWarning):
+                load_predictor(saved_dir, strict=False)
+
+    def test_bit_rot_caught_by_checksum(self, saved_dir):
+        FaultInjector(seed=5).flip_bytes(saved_dir / "word2vec.npz", count=8)
+        report = verify_checkpoint(saved_dir)
+        assert "word2vec.npz" in report.corrupt
+
+    def test_missing_word2vec_named_in_error(self, saved_dir):
+        (saved_dir / "word2vec.npz").unlink()
+        report = verify_checkpoint(saved_dir)
+        assert report.missing == ["word2vec.npz"]
+        with pytest.raises(CheckpointError, match="word2vec.npz"):
+            load_predictor(saved_dir)
+
+    def test_missing_manifest_strict_rejected_non_strict_recovers(
+            self, saved_dir, pipeline):
+        (saved_dir / "manifest.json").unlink()
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_predictor(saved_dir)
+        with pytest.warns(UserWarning, match="manifest"):
+            restored = load_predictor(saved_dir, strict=False)
+        record = pipeline.records[0]
+        assert np.isfinite(restored.predict(record.plan, record.resources))
+
+    def test_stale_schema_strict_rejected_non_strict_recovers(
+            self, saved_dir, pipeline):
+        manifest_path = saved_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="schema"):
+            load_predictor(saved_dir)
+        with pytest.warns(UserWarning, match="schema"):
+            restored = load_predictor(saved_dir, strict=False)
+        record = pipeline.records[0]
+        assert np.isfinite(restored.predict(record.plan, record.resources))
+
+    def test_garbled_manifest_reported(self, saved_dir):
+        (saved_dir / "manifest.json").write_text("{not json")
+        report = verify_checkpoint(saved_dir)
+        assert "manifest.json" in report.corrupt
+
+    def test_corrupt_meta_named(self, saved_dir):
+        (saved_dir / "meta.json").write_text('{"model_config": {}}')
+        with pytest.raises(CheckpointError, match="meta.json"):
+            with pytest.warns(UserWarning):
+                load_predictor(saved_dir, strict=False)
+
+    def test_missing_directory_reports_cleanly(self, tmp_path):
+        report = verify_checkpoint(tmp_path / "never-saved")
+        assert not report.ok
+        assert "does not exist" in " ".join(report.notes)
+
+    def test_resave_refreshes_manifest(self, saved_dir, pipeline, trained):
+        # Saving again over the same directory keeps verification green.
+        predictor = CostPredictor(trained.encoder, trained.trainer)
+        save_predictor(predictor, saved_dir)
+        assert verify_checkpoint(saved_dir).ok
+
+    def test_roundtrip_after_recovery_matches_strict_load(
+            self, saved_dir, pipeline):
+        strict = load_predictor(saved_dir)
+        (saved_dir / "manifest.json").unlink()
+        with pytest.warns(UserWarning):
+            recovered = load_predictor(saved_dir, strict=False)
+        record = pipeline.records[0]
+        assert strict.predict(record.plan, record.resources) == pytest.approx(
+            recovered.predict(record.plan, record.resources), abs=1e-9)

@@ -1,0 +1,386 @@
+"""Tests for the reliability layer: retry, circuit breaker, and the
+guarded prediction fallback chain under deterministic fault injection.
+
+No test here sleeps: clocks and sleep functions are injected fakes, and
+every fault is seeded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CostPredictor
+from repro.core.selector import PlanSelector
+from repro.core.advisor import ResourceAdvisor
+from repro.errors import PredictionError, ReproError
+from repro.baselines.gpsj import GPSJCostModel
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+from repro.reliability import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    FaultInjector,
+    GuardedCostPredictor,
+    RetryPolicy,
+    compute_backoff,
+    retry_call,
+    static_heuristic_cost,
+)
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeSleep:
+    """Records requested sleeps instead of sleeping."""
+
+    def __init__(self) -> None:
+        self.calls: list[float] = []
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(seconds)
+
+
+# -- retry -----------------------------------------------------------------
+class TestRetry:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.1, multiplier=2.0, max_delay=0.3)
+        assert compute_backoff(policy, 0) == pytest.approx(0.1)
+        assert compute_backoff(policy, 1) == pytest.approx(0.2)
+        assert compute_backoff(policy, 2) == pytest.approx(0.3)  # capped
+
+    def test_success_after_transient_failures(self):
+        sleep = FakeSleep()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return 42
+
+        result = retry_call(flaky, RetryPolicy(attempts=3, base_delay=0.05),
+                            sleep=sleep)
+        assert result == 42
+        assert calls["n"] == 3
+        assert sleep.calls == pytest.approx([0.05, 0.1])
+
+    def test_exhausted_attempts_raise_last_error(self):
+        sleep = FakeSleep()
+
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            retry_call(always_fails, RetryPolicy(attempts=3, base_delay=0.01),
+                       sleep=sleep)
+        assert len(sleep.calls) == 2  # no sleep after the final attempt
+
+    def test_non_matching_exception_propagates_immediately(self):
+        sleep = FakeSleep()
+
+        def boom():
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            retry_call(boom, RetryPolicy(attempts=5), retry_on=(ValueError,),
+                       sleep=sleep)
+        assert sleep.calls == []
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+
+
+# -- circuit breaker -------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=threshold,
+                          cooldown_seconds=cooldown), clock=clock)
+        return breaker, clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_k_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert not breaker.allow()  # cooldown restarted at re-open
+        clock.advance(2.0)
+        assert breaker.allow()
+
+
+# -- guarded prediction ----------------------------------------------------
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+@pytest.fixture(scope="module")
+def trained(pipeline):
+    return pipeline.train_variant("RAAL", epochs=3)
+
+
+@pytest.fixture()
+def fresh_predictor(pipeline, trained, tmp_path):
+    """A private predictor instance per test, safe to corrupt.
+
+    Round-trips the trained module-scoped predictor through
+    persistence so weight corruption in one test never leaks into
+    another.
+    """
+    from repro.core import load_predictor, save_predictor
+
+    source = CostPredictor(trained.encoder, trained.trainer)
+    save_predictor(source, tmp_path / "model")
+    return load_predictor(tmp_path / "model")
+
+
+@pytest.fixture()
+def guarded(fresh_predictor, pipeline):
+    clock = FakeClock()
+    guard = GuardedCostPredictor(
+        fresh_predictor,
+        gpsj=GPSJCostModel(pipeline.catalog),
+        breaker_config=BreakerConfig(failure_threshold=2, cooldown_seconds=30.0),
+        retry_policy=RetryPolicy(attempts=1),
+        clock=clock,
+        sleep=FakeSleep(),
+    )
+    guard._test_clock = clock
+    return guard
+
+
+class TestGuardedPredictor:
+    def test_healthy_path_serves_raal_with_provenance(self, guarded, pipeline):
+        record = pipeline.records[0]
+        result = guarded.predict_explained(record.plan, record.resources)
+        assert result.source == "raal"
+        assert result.reason is None
+        assert not result.degraded
+        assert np.isfinite(result.seconds) and result.seconds >= 0
+
+    def test_matches_unguarded_predictor(self, guarded, fresh_predictor, pipeline):
+        pairs = [(r.plan, r.resources) for r in pipeline.records[:5]]
+        np.testing.assert_allclose(
+            guarded.predict_many(pairs), fresh_predictor.predict_many(pairs))
+
+    def test_corrupt_weights_fall_back_to_gpsj(self, guarded, pipeline):
+        FaultInjector(seed=7).corrupt_weights(guarded.trainer.model)
+        record = pipeline.records[0]
+        result = guarded.predict_explained(record.plan, record.resources)
+        assert result.source == "gpsj"
+        assert "raal" in result.reason
+        assert np.isfinite(result.seconds) and result.seconds >= 0
+
+    def test_poisoned_vocabulary_falls_back(self, guarded, pipeline):
+        FaultInjector(seed=3).poison_vocabulary(guarded.encoder, fraction=1.0)
+        record = pipeline.records[0]
+        result = guarded.predict_explained(record.plan, record.resources)
+        assert result.source == "gpsj"
+        assert "non-finite" in result.reason
+
+    def test_encode_fault_falls_back(self, guarded, pipeline):
+        FaultInjector().force_encode_errors(guarded.encoder)
+        record = pipeline.records[0]
+        result = guarded.predict_explained(record.plan, record.resources)
+        assert result.source == "gpsj"
+        assert "injected encode fault" in result.reason
+
+    def test_double_fault_reaches_heuristic(self, guarded, pipeline):
+        injector = FaultInjector()
+        injector.force_encode_errors(guarded.encoder)
+        guarded.gpsj = None  # GPSJ also unavailable
+        record = pipeline.records[0]
+        result = guarded.predict_explained(record.plan, record.resources)
+        assert result.source == "heuristic"
+        assert result.seconds > 0
+
+    def test_all_stages_failing_raises_prediction_error(
+            self, fresh_predictor, pipeline):
+        guard = GuardedCostPredictor(fresh_predictor, chain=("raal",),
+                                     retry_policy=RetryPolicy(attempts=1),
+                                     sleep=FakeSleep())
+        FaultInjector().force_encode_errors(guard.encoder)
+        record = pipeline.records[0]
+        with pytest.raises(PredictionError, match="all fallback stages failed"):
+            guard.predict_many_explained([(record.plan, record.resources)])
+
+    def test_breaker_trips_then_recovers_via_half_open_probe(
+            self, guarded, pipeline):
+        injector = FaultInjector()
+        restore = injector.force_encode_errors(guarded.encoder)
+        record = pipeline.records[0]
+        pair = [(record.plan, record.resources)]
+
+        # K = 2 consecutive failures trip the RAAL breaker.
+        assert guarded.predict_many_explained(pair).source == "gpsj"
+        assert guarded.predict_many_explained(pair).source == "gpsj"
+        assert guarded.breakers["raal"].state == OPEN
+
+        # While open, the stage is skipped without being invoked.
+        result = guarded.predict_many_explained(pair)
+        assert result.source == "gpsj"
+        assert "circuit open" in result.reason
+        assert guarded.stats["raal"].skipped_open == 1
+
+        # Heal the encoder, advance past the cooldown: the half-open
+        # probe succeeds and the breaker closes again.
+        restore()
+        guarded._test_clock.advance(31.0)
+        result = guarded.predict_many_explained(pair)
+        assert result.source == "raal"
+        assert guarded.breakers["raal"].state == CLOSED
+
+    def test_oversized_plan_rejected_without_tripping_breaker(
+            self, fresh_predictor, pipeline):
+        # Shrink the encoder's capacity below the plan's node count.
+        fresh_predictor.encoder.structure.max_nodes = 1
+        guard = GuardedCostPredictor(
+            fresh_predictor, gpsj=GPSJCostModel(pipeline.catalog),
+            sleep=FakeSleep())
+        record = pipeline.records[0]
+        result = guard.predict_explained(record.plan, record.resources)
+        assert result.source == "gpsj"
+        assert "max_nodes" in result.reason
+        assert guard.breakers["raal"].state == CLOSED
+        assert guard.stats["raal"].rejected_input == 1
+
+    def test_saturated_output_degrades(self, fresh_predictor, pipeline):
+        from dataclasses import replace
+
+        from repro.core.trainer import Trainer
+
+        # A microscopic clamp forces every prediction to saturate.
+        tiny = replace(fresh_predictor.trainer.config, log_clamp_max=1e-9)
+        fresh_predictor.trainer = Trainer(fresh_predictor.trainer.model, tiny)
+        guard = GuardedCostPredictor(
+            fresh_predictor, gpsj=GPSJCostModel(pipeline.catalog),
+            retry_policy=RetryPolicy(attempts=1), sleep=FakeSleep())
+        record = pipeline.records[0]
+        result = guard.predict_explained(record.plan, record.resources)
+        assert result.source == "gpsj"
+        assert "saturated" in result.reason
+
+    def test_empty_pairs(self, guarded):
+        explained = guarded.predict_many_explained([])
+        assert explained.costs.shape == (0,)
+
+    def test_grid_shape_and_provenance(self, guarded, pipeline):
+        plans = [pipeline.records[0].plan, pipeline.records[1].plan]
+        profiles = [pipeline.records[0].resources, pipeline.records[1].resources,
+                    pipeline.records[2].resources]
+        explained = guarded.predict_grid_explained(plans, profiles)
+        assert explained.costs.shape == (3, 2)
+        assert explained.source == "raal"
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_corruption(self, pipeline, trained, tmp_path):
+        from repro.core import load_predictor, save_predictor
+
+        source = CostPredictor(trained.encoder, trained.trainer)
+        save_predictor(source, tmp_path / "a")
+        a = load_predictor(tmp_path / "a")
+        b = load_predictor(tmp_path / "a")
+        FaultInjector(seed=11).corrupt_weights(a.trainer.model, fraction=0.1)
+        FaultInjector(seed=11).corrupt_weights(b.trainer.model, fraction=0.1)
+        for (name_a, pa), (_, pb) in zip(a.trainer.model.named_parameters(),
+                                         b.trainer.model.named_parameters()):
+            np.testing.assert_array_equal(np.isnan(pa.data), np.isnan(pb.data),
+                                          err_msg=name_a)
+
+
+class TestHeuristic:
+    def test_positive_and_finite(self, pipeline):
+        for record in pipeline.records[:5]:
+            cost = static_heuristic_cost(record.plan, record.resources)
+            assert np.isfinite(cost) and cost > 0
+
+    def test_bigger_plans_cost_more(self, pipeline):
+        plans = sorted((r.plan for r in pipeline.records[:10]),
+                       key=lambda p: p.num_nodes)
+        resources = pipeline.records[0].resources
+        small = static_heuristic_cost(plans[0], resources)
+        large = static_heuristic_cost(plans[-1], resources)
+        if plans[-1].num_nodes > plans[0].num_nodes:
+            assert large >= small
+
+
+class TestIntegrationWithSelectorAndAdvisor:
+    def test_selector_surfaces_provenance_on_degradation(
+            self, guarded, pipeline):
+        FaultInjector().force_encode_errors(guarded.encoder)
+        record = pipeline.records[0]
+        selector = PlanSelector(guarded, pipeline.catalog)
+        result = selector.select(
+            query=None, resources=record.resources, candidates=[record.plan])
+        assert result.cost_source == "gpsj"
+        assert result.degraded
+        assert result.degradation_reason is not None
+
+    def test_selector_healthy_provenance(self, guarded, pipeline):
+        record = pipeline.records[0]
+        selector = PlanSelector(guarded, pipeline.catalog)
+        result = selector.select(
+            query=None, resources=record.resources, candidates=[record.plan])
+        assert result.cost_source == "raal"
+        assert not result.degraded
+
+    def test_advisor_carries_cost_source(self, guarded, pipeline):
+        FaultInjector(seed=1).corrupt_weights(guarded.trainer.model)
+        advisor = ResourceAdvisor(guarded)
+        plans = [pipeline.records[0].plan]
+        rec = advisor.cheapest_meeting_sla(plans, sla_seconds=1e12)
+        assert rec is not None
+        assert rec.cost_source == "gpsj"
