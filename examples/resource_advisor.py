@@ -6,9 +6,15 @@ allocation within an hourly budget — the resource-matching use case the
 paper's related work targets, obtained for free from a resource-aware
 model.
 
+The whole run executes under an attached telemetry bundle (repro.obs),
+so it finishes with a metrics summary — per-epoch training times,
+encoder cache efficiency, grid-prediction latency — and the span tree
+of the last advisor grid search.
+
 Run with:  python examples/resource_advisor.py
 """
 
+from repro import obs
 from repro.cluster import PAPER_CLUSTER
 from repro.core import AllocationPrice, CostPredictor, ResourceAdvisor
 from repro.eval import render_table
@@ -18,6 +24,16 @@ SCALE = ExperimentScale(num_queries=80, epochs=30)
 
 
 def main() -> None:
+    telemetry = obs.Telemetry.create()
+    with obs.attached(telemetry):
+        run_advisor()
+    print("\ntelemetry for this run:")
+    print(obs.TelemetryReport.from_telemetry(telemetry).render())
+    print("\nspan tree of the last grid search:")
+    print(telemetry.tracer.last_root().render())
+
+
+def run_advisor() -> None:
     print("training the cost model ...")
     pipeline = ExperimentPipeline(dataset="imdb", scale=SCALE)
     trained = pipeline.train_variant("RAAL")

@@ -15,7 +15,17 @@ Commands
     Generate and print a random SQL workload for a dataset.
 ``doctor``
     Validate a persisted predictor: verify the checkpoint manifest
-    (schema version, per-file SHA-256) and run a self-test prediction.
+    (schema version, per-file SHA-256) and run a self-test prediction,
+    plus a telemetry self-check (spans + metrics recorded end to end).
+``metrics``
+    Render the telemetry of a previous run: load a run artifact written
+    by ``--emit-telemetry`` (or ``TelemetryReport.write``) and print
+    its metrics as a table, JSON, or Prometheus text.
+
+``experiment``, ``train``, and ``predict`` accept ``--emit-telemetry
+PATH``: the run executes under an attached telemetry bundle, streaming
+structured events to ``PATH`` as JSONL and appending a final
+``telemetry_report`` event with the aggregate metrics and span trees.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ import math
 import sys
 
 
+from repro import obs
 from repro.baselines.gpsj import GPSJCostModel
 from repro.cluster.resources import PAPER_CLUSTER
 from repro.core.persistence import load_predictor, save_predictor, verify_checkpoint
@@ -50,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="run one training experiment")
     _pipeline_args(exp)
+    _telemetry_arg(exp)
     exp.add_argument("--variant", default="RAAL",
                      help="RAAL | NE-LSTM | NA-LSTM | RAAC | OH-LSTM")
     exp.add_argument("--no-resource-attention", action="store_true",
@@ -57,9 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train and persist a cost predictor")
     _pipeline_args(train)
+    _telemetry_arg(train)
     train.add_argument("--out", required=True, help="output directory")
 
     predict = sub.add_parser("predict", help="estimate plan costs for a SQL query")
+    _telemetry_arg(predict)
     predict.add_argument("--model", required=True, help="persisted predictor directory")
     predict.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
     predict.add_argument("--catalog-scale", type=float, default=0.15)
@@ -73,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("directory", help="checkpoint directory to validate")
     doctor.add_argument("--no-selftest", action="store_true",
                         help="skip the self-test prediction (manifest check only)")
+
+    metrics = sub.add_parser(
+        "metrics", help="render the telemetry report of a previous run")
+    metrics.add_argument("artifact",
+                         help="run artifact: --emit-telemetry JSONL stream "
+                              "or a JSON report file")
+    metrics.add_argument("--format", default="table",
+                         choices=["table", "json", "prom"],
+                         help="output format (default: table)")
 
     workload = sub.add_parser("workload", help="generate a random workload")
     workload.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
@@ -91,6 +114,14 @@ def _pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=50)
     parser.add_argument("--catalog-scale", type=float, default=0.15)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--emit-telemetry", metavar="PATH", default=None,
+        help="stream structured telemetry events (JSONL) to PATH and "
+             "append a final telemetry_report event; render it later "
+             "with 'repro metrics PATH'")
 
 
 def _make_pipeline(args: argparse.Namespace) -> ExperimentPipeline:
@@ -169,7 +200,9 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         return 0
     # Self-test: load the checkpoint and predict one trivial query's
     # plans, proving the weights, vocabulary, and encoder round-trip
-    # into a usable predictor — not just intact bytes.
+    # into a usable predictor — not just intact bytes. The prediction
+    # runs under a throwaway telemetry bundle so the doctor also proves
+    # the instrumentation records spans and metrics end to end.
     from repro.data.imdb import build_imdb_catalog
     from repro.plan.enumerator import enumerate_plans
 
@@ -177,11 +210,23 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     catalog = build_imdb_catalog(scale=0.05)
     query = analyze(parse_sql("select count(*) from title t"), catalog)
     plans = enumerate_plans(query, catalog)
-    seconds = predictor.predict(plans[0], PAPER_CLUSTER)
+    telemetry = obs.Telemetry.create()
+    with obs.attached(telemetry):
+        seconds = predictor.predict(plans[0], PAPER_CLUSTER)
     if not math.isfinite(seconds) or seconds < 0:
         print(f"self-test FAILED: predicted {seconds}")
         return 1
     print(f"self-test prediction OK ({seconds:.3f}s for a trivial scan plan)")
+    root = telemetry.tracer.last_root()
+    stages_ok = (root is not None and root.find("encode") is not None
+                 and root.find("forward") is not None)
+    metrics_ok = "predict.requests_total" in telemetry.registry
+    if not (stages_ok and metrics_ok):
+        print("telemetry self-check FAILED: prediction produced no "
+              f"span tree/metrics (root={root!r})")
+        return 1
+    print(f"telemetry self-check OK (span tree '{root.name}' with "
+          f"encode/forward stages, {len(telemetry.registry)} metrics)")
     return 0
 
 
@@ -200,13 +245,46 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    report = obs.load_report(args.artifact)
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "prom":
+        print(report.to_prometheus(), end="")
+    else:
+        print(report.render())
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "train": _cmd_train,
     "predict": _cmd_predict,
     "doctor": _cmd_doctor,
+    "metrics": _cmd_metrics,
     "workload": _cmd_workload,
 }
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch one command, under telemetry when ``--emit-telemetry``.
+
+    The final ``telemetry_report`` event (aggregate metrics, span
+    trees, event tallies) is appended even when the command fails —
+    a degraded run's telemetry is exactly the telemetry worth keeping.
+    """
+    emit_path = getattr(args, "emit_telemetry", None)
+    if not emit_path:
+        return _COMMANDS[args.command](args)
+    telemetry = obs.Telemetry.create(events_path=emit_path)
+    try:
+        with obs.attached(telemetry):
+            return _COMMANDS[args.command](args)
+    finally:
+        report = obs.TelemetryReport.from_telemetry(telemetry)
+        telemetry.events.emit("obs", "telemetry_report",
+                              report=report.to_dict())
+        telemetry.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -218,7 +296,7 @@ def main(argv: list[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _run_command(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.resources import ResourceProfile
 from repro.core.predictor import CostPredictor
 from repro.errors import PlanError
@@ -94,15 +95,23 @@ class ResourceAdvisor:
             raise PlanError("advisor needs at least one resource profile")
         # Grid prediction: each plan is encoded once (not once per
         # profile) thanks to the encoder's plan-side cache.
-        source = "raal"
-        if hasattr(self.predictor, "predict_grid_explained"):
-            explained = self.predictor.predict_grid_explained(plans, profiles)
-            per_profile, source = explained.costs, explained.source
-        else:
-            per_profile = self.predictor.predict_grid(plans, profiles)
-        best_idx = per_profile.argmin(axis=1)
-        best_costs = per_profile.min(axis=1)
-        return best_idx, best_costs, source
+        with obs.span("advise", plans=len(plans),
+                      profiles=len(profiles)) as sp:
+            obs.inc("advisor.grids_total",
+                    help="Resource-advisor grid searches")
+            source = "raal"
+            if hasattr(self.predictor, "predict_grid_explained"):
+                explained = self.predictor.predict_grid_explained(plans, profiles)
+                per_profile, source = explained.costs, explained.source
+            else:
+                per_profile = self.predictor.predict_grid(plans, profiles)
+            if source != "raal":
+                obs.inc("advisor.degraded_total",
+                        help="Grid searches served by a fallback cost source")
+            sp.annotate(source=source)
+            best_idx = per_profile.argmin(axis=1)
+            best_costs = per_profile.min(axis=1)
+            return best_idx, best_costs, source
 
     def cheapest_meeting_sla(self, plans: list[PhysicalPlan],
                              sla_seconds: float,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.resources import ResourceProfile
 from repro.core.trainer import Trainer
 from repro.encoding.plan_encoder import PlanEncoder
@@ -47,8 +48,17 @@ class CostPredictor:
         Repeated plans across pairs are encoded once (the encoder
         dedups within the call and memoizes across calls).
         """
-        encoded = self.encoder.encode_many(pairs)
-        return self.trainer.predict_seconds(encoded, fast=fast)
+        with obs.span("predict", pairs=len(pairs), fast=fast):
+            start = self.trainer.clock()
+            obs.inc("predict.requests_total",
+                    help="CostPredictor batch prediction calls")
+            obs.inc("predict.pairs_total", len(pairs),
+                    help="(plan, resources) pairs predicted")
+            encoded = self.encoder.encode_many(pairs)
+            costs = self.trainer.predict_seconds(encoded, fast=fast)
+            obs.observe("predict.latency_seconds", self.trainer.clock() - start,
+                        help="End-to-end predict_many latency")
+            return costs
 
     def predict_grid(self, plans: list[PhysicalPlan],
                      profiles: list[ResourceProfile],
@@ -59,6 +69,10 @@ class CostPredictor:
         plan scored under every resource profile. Each plan is encoded
         exactly once regardless of the number of profiles.
         """
-        pairs = [(plan, profile) for profile in profiles for plan in plans]
-        costs = self.predict_many(pairs, fast=fast)
-        return costs.reshape(len(profiles), len(plans))
+        with obs.span("predict_grid", plans=len(plans),
+                      profiles=len(profiles)):
+            obs.inc("predict.grids_total",
+                    help="CostPredictor grid prediction calls")
+            pairs = [(plan, profile) for profile in profiles for plan in plans]
+            costs = self.predict_many(pairs, fast=fast)
+            return costs.reshape(len(profiles), len(plans))

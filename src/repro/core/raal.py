@@ -191,6 +191,8 @@ class RAAL(Module):
         into one GEMM — the inference fast path used by
         :meth:`repro.core.trainer.Trainer.predict_seconds`.
         """
+        from repro import obs
         from repro.nn.inference import raal_forward_inference
 
-        return raal_forward_inference(self, batch)
+        with obs.span("forward_inference", batch=batch.size):
+            return raal_forward_inference(self, batch)

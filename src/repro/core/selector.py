@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.resources import ResourceProfile
 from repro.core.predictor import CostPredictor
 from repro.data.catalog import Catalog
@@ -79,16 +80,22 @@ class PlanSelector:
         plans = candidates or enumerate_plans(query, self.catalog, self.config)
         if not plans:
             raise PlanError("no candidate plans to select from")
-        pairs = [(p, resources) for p in plans]
-        source, reason = "raal", None
-        if hasattr(self.predictor, "predict_many_explained"):
-            # Guarded predictor: run the fallback chain and keep the
-            # provenance it reports.
-            explained = self.predictor.predict_many_explained(pairs, fast=fast)
-            costs, source, reason = explained.costs, explained.source, explained.reason
-        else:
-            costs = self.predictor.predict_many(pairs, fast=fast)
-        best = int(np.argmin(costs))
+        with obs.span("select", candidates=len(plans)) as sp:
+            obs.inc("selector.selections_total", help="Plan selections")
+            pairs = [(p, resources) for p in plans]
+            source, reason = "raal", None
+            if hasattr(self.predictor, "predict_many_explained"):
+                # Guarded predictor: run the fallback chain and keep the
+                # provenance it reports.
+                explained = self.predictor.predict_many_explained(pairs, fast=fast)
+                costs, source, reason = explained.costs, explained.source, explained.reason
+            else:
+                costs = self.predictor.predict_many(pairs, fast=fast)
+            if source != "raal":
+                obs.inc("selector.degraded_total",
+                        help="Selections served by a fallback cost source")
+            sp.annotate(source=source)
+            best = int(np.argmin(costs))
         return SelectionResult(
             chosen=plans[best],
             default=plans[0],

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.raal import RAAL, RAALBatch
 from repro.encoding.plan_encoder import EncodedPlan
 from repro.errors import TrainingError
@@ -112,13 +114,19 @@ class RecoveryEvent:
 
 @dataclass
 class TrainResult:
-    """Loss history and timing of one training run."""
+    """Loss history and timing of one training run.
+
+    ``epoch_seconds`` is measured with the trainer's injectable clock
+    and *includes* divergence-recovery epochs, so training-efficiency
+    numbers see recovery overhead instead of re-timing externally.
+    """
 
     train_losses: list[float] = field(default_factory=list)
     val_losses: list[float] = field(default_factory=list)
     best_epoch: int = 0
     train_seconds: float = 0.0
     recoveries: list[RecoveryEvent] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
 
     @property
     def final_train_loss(self) -> float:
@@ -131,9 +139,13 @@ class TrainResult:
 class Trainer:
     """Minibatch trainer with early stopping on a validation split."""
 
-    def __init__(self, model: RAAL, config: TrainerConfig | None = None) -> None:
+    def __init__(self, model: RAAL, config: TrainerConfig | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         self.model = model
         self.config = config or TrainerConfig()
+        #: Monotonic time source for epoch/total wall-clock accounting;
+        #: injectable so tests assert exact timings without sleeping.
+        self.clock = clock
         #: Count of predictions clamped at ``log_clamp_max`` in the most
         #: recent :meth:`predict_seconds` call (saturation indicator).
         self.last_saturated = 0
@@ -174,9 +186,10 @@ class Trainer:
         best_train = np.inf
         best_state = self.model.state_dict()
         patience_left = cfg.early_stopping_patience
-        start = time.perf_counter()
+        start = self.clock()
 
         for epoch in range(cfg.epochs):
+            epoch_start = self.clock()
             self.model.train()
             perm = rng.permutation(len(train_samples))
             epoch_loss = 0.0
@@ -196,6 +209,14 @@ class Trainer:
             val_loss = self.evaluate_loss(val_samples)
             result.train_losses.append(train_loss)
             result.val_losses.append(val_loss)
+            epoch_seconds = self.clock() - epoch_start
+            result.epoch_seconds.append(epoch_seconds)
+            obs.observe("train.epoch_seconds", epoch_seconds,
+                        help="Wall-clock per training epoch")
+            obs.emit_event("trainer", "epoch", epoch=epoch,
+                           train_loss=train_loss, val_loss=val_loss,
+                           learning_rate=getattr(optimizer, "lr", current_lr),
+                           seconds=epoch_seconds)
 
             divergence = self._divergence_reason(train_loss, val_loss, best_train)
             if divergence is not None:
@@ -204,12 +225,16 @@ class Trainer:
                 event = RecoveryEvent(epoch=epoch, reason=divergence,
                                       learning_rate=current_lr)
                 result.recoveries.append(event)
+                obs.inc("train.recoveries",
+                        help="Divergence recoveries during fit()")
+                obs.emit_event("trainer", "recovery", epoch=epoch,
+                               reason=divergence, learning_rate=current_lr)
                 if cfg.verbose:
                     print(f"epoch {epoch:3d}  DIVERGED ({divergence}); "
                           f"rolled back, lr -> {current_lr:g}")
                 if len(result.recoveries) > cfg.divergence_max_recoveries:
                     self.model.eval()
-                    result.train_seconds = time.perf_counter() - start
+                    result.train_seconds = self.clock() - start
                     raise TrainingError(
                         f"training diverged {len(result.recoveries)} times "
                         f"(last: {divergence} at epoch {epoch}); model rolled "
@@ -235,7 +260,14 @@ class Trainer:
         self.model.load_state_dict(best_state)
         self.model.eval()
         self._require_finite_parameters()
-        result.train_seconds = time.perf_counter() - start
+        result.train_seconds = self.clock() - start
+        obs.set_gauge("train.epochs_run", len(result.train_losses))
+        obs.set_gauge("train.best_epoch", result.best_epoch)
+        obs.emit_event("trainer", "fit_complete",
+                       epochs=len(result.train_losses),
+                       best_epoch=result.best_epoch,
+                       recoveries=len(result.recoveries),
+                       train_seconds=result.train_seconds)
         return result
 
     def _divergence_reason(self, train_loss: float, val_loss: float,
@@ -291,22 +323,30 @@ class Trainer:
         """
         if not encoded:
             return np.zeros(0)
-        self.model.eval()
-        cfg = self.config
-        if bucket:
-            order = np.argsort([e.num_nodes for e in encoded], kind="stable")
-        else:
-            order = np.arange(len(encoded))
-        preds = np.empty(len(encoded))
-        with no_grad():
-            for lo in range(0, len(order), cfg.batch_size):
-                idx = order[lo : lo + cfg.batch_size]
-                batch = collate([TrainingSample(encoded[i], 0.0) for i in idx])
-                if fast:
-                    out = self.model.forward_inference(batch)
-                else:
-                    out = self.model(batch).numpy()
-                preds[idx] = out
+        with obs.span("forward", plans=len(encoded), fast=fast,
+                      bucket=bucket) as sp:
+            start = self.clock()
+            self.model.eval()
+            cfg = self.config
+            if bucket:
+                order = np.argsort([e.num_nodes for e in encoded], kind="stable")
+            else:
+                order = np.arange(len(encoded))
+            preds = np.empty(len(encoded))
+            batches = 0
+            with no_grad():
+                for lo in range(0, len(order), cfg.batch_size):
+                    idx = order[lo : lo + cfg.batch_size]
+                    batch = collate([TrainingSample(encoded[i], 0.0) for i in idx])
+                    if fast:
+                        out = self.model.forward_inference(batch)
+                    else:
+                        out = self.model(batch).numpy()
+                    preds[idx] = out
+                    batches += 1
+            sp.annotate(batches=batches)
+            obs.observe("predict.forward_seconds", self.clock() - start,
+                        help="Model forward latency per predict call")
         return preds
 
     def predict_seconds(self, encoded: list[EncodedPlan], fast: bool = True,
@@ -323,4 +363,7 @@ class Trainer:
         log_preds = self.predict_log(encoded, fast=fast, bucket=bucket)
         hi = self.config.log_clamp_max
         self.last_saturated = int(np.count_nonzero(log_preds > hi))
+        if self.last_saturated:
+            obs.inc("predict.saturated_total", self.last_saturated,
+                    help="Predictions clamped at log_clamp_max")
         return np.expm1(np.clip(log_preds, 0.0, hi))

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.resources import ResourceProfile
 from repro.encoding.node_semantic import NodeSemanticEncoder
 from repro.encoding.onehot import OneHotOperatorEncoder
@@ -77,6 +78,7 @@ class EncoderCacheInfo:
     misses: int
     size: int
     capacity: int
+    evictions: int = 0
 
 
 @dataclass
@@ -151,6 +153,7 @@ class PlanEncoder:
         self._cache: OrderedDict[str, _PlanFeatures] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         # The switches below go through properties so that flipping one
         # after construction invalidates cached plan-side features.
         self._use_onehot = bool(use_onehot)
@@ -226,13 +229,15 @@ class PlanEncoder:
     def cache_info(self) -> EncoderCacheInfo:
         """Current hit/miss statistics of the plan-side cache."""
         return EncoderCacheInfo(hits=self._hits, misses=self._misses,
-                                size=len(self._cache), capacity=self.cache_size)
+                                size=len(self._cache), capacity=self.cache_size,
+                                evictions=self._evictions)
 
     def cache_clear(self) -> None:
         """Drop all cached plan-side features and reset the counters."""
         self._cache.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def _plan_features(self, plan: PhysicalPlan,
                        fingerprint: str | None = None) -> _PlanFeatures:
@@ -243,9 +248,11 @@ class PlanEncoder:
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
+            obs.inc("encoder.cache.hits")
             self._cache.move_to_end(key)
             return cached
         self._misses += 1
+        obs.inc("encoder.cache.misses")
         features = self._compute_plan_features(plan)
         # Cached arrays are shared between EncodedPlan instances; mark
         # them read-only so an accidental in-place write cannot corrupt
@@ -255,6 +262,10 @@ class PlanEncoder:
         self._cache[key] = features
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
+            self._evictions += 1
+            obs.inc("encoder.cache.evictions")
+            obs.emit_event("encoder", "cache_evict",
+                           size=len(self._cache), capacity=self.cache_size)
         return features
 
     def _compute_plan_features(self, plan: PhysicalPlan) -> _PlanFeatures:
@@ -321,13 +332,16 @@ class PlanEncoder:
         was seen before; only the (cheap) resource vector is computed
         per call.
         """
-        features = self._plan_features(plan)
-        return EncodedPlan(
-            node_features=features.node_features,
-            child_mask=features.child_mask,
-            resources=resources.as_features(),
-            extras=features.extras,
-        )
+        with obs.span("encode", nodes=plan.num_nodes) as sp:
+            hits_before = self._hits
+            features = self._plan_features(plan)
+            sp.annotate(cache_hit=self._hits > hits_before)
+            return EncodedPlan(
+                node_features=features.node_features,
+                child_mask=features.child_mask,
+                resources=resources.as_features(),
+                extras=features.extras,
+            )
 
     def encode_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]]) -> list[EncodedPlan]:
         """Encode a list of (plan, resources) pairs.
@@ -337,18 +351,21 @@ class PlanEncoder:
         across all its (plan, profile) pairs — the advisor/selector grid
         shape (``plans × profiles``) hits this path.
         """
-        fingerprints: dict[int, str] = {}
-        out: list[EncodedPlan] = []
-        for plan, resources in pairs:
-            key = fingerprints.get(id(plan))
-            if key is None and self.cache_size > 0:
-                key = plan_fingerprint(plan)
-                fingerprints[id(plan)] = key
-            features = self._plan_features(plan, fingerprint=key)
-            out.append(EncodedPlan(
-                node_features=features.node_features,
-                child_mask=features.child_mask,
-                resources=resources.as_features(),
-                extras=features.extras,
-            ))
-        return out
+        with obs.span("encode", pairs=len(pairs)) as sp:
+            hits_before = self._hits
+            fingerprints: dict[int, str] = {}
+            out: list[EncodedPlan] = []
+            for plan, resources in pairs:
+                key = fingerprints.get(id(plan))
+                if key is None and self.cache_size > 0:
+                    key = plan_fingerprint(plan)
+                    fingerprints[id(plan)] = key
+                features = self._plan_features(plan, fingerprint=key)
+                out.append(EncodedPlan(
+                    node_features=features.node_features,
+                    child_mask=features.child_mask,
+                    resources=resources.as_features(),
+                    extras=features.extras,
+                ))
+            sp.annotate(cache_hits=self._hits - hits_before)
+            return out

@@ -78,3 +78,8 @@ class PredictionError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for invalid dataset manipulations (e.g. empty split)."""
+
+
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry operations (bad metric names, type
+    conflicts in the registry, malformed report artifacts)."""

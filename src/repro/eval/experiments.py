@@ -8,7 +8,6 @@ benchmarks can share the expensive steps.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -68,7 +67,12 @@ BENCH = ExperimentScale()
 
 @dataclass
 class TrainedVariant:
-    """A trained model variant plus its evaluation artifacts."""
+    """A trained model variant plus its evaluation artifacts.
+
+    ``train_seconds`` / ``epoch_seconds`` come from the trainer's own
+    (injectable) clock, so they include divergence-recovery overhead
+    instead of being re-timed around :meth:`Trainer.fit`.
+    """
 
     name: str
     resource_aware: bool
@@ -79,6 +83,7 @@ class TrainedVariant:
     train_seconds: float
     actual: np.ndarray
     estimated: np.ndarray
+    epoch_seconds: list[float] = None
 
 
 class ExperimentPipeline:
@@ -224,9 +229,7 @@ class ExperimentPipeline:
         ))
         samples = train_samples if train_samples is not None \
             else self.samples_for(spec, "train")
-        start = time.perf_counter()
         result = trainer.fit(samples)
-        train_seconds = time.perf_counter() - start
         test = self.samples_for(spec, "test")
         actual = np.array([s.cost_seconds for s in test])
         estimated = trainer.predict_seconds([s.encoded for s in test])
@@ -237,9 +240,10 @@ class ExperimentPipeline:
             encoder=encoder,
             metrics=compute_metrics(actual, estimated),
             train_losses=result.train_losses,
-            train_seconds=train_seconds,
+            train_seconds=result.train_seconds,
             actual=actual,
             estimated=estimated,
+            epoch_seconds=list(result.epoch_seconds),
         )
 
     # -- baselines -------------------------------------------------------------------

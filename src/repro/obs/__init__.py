@@ -1,0 +1,77 @@
+"""Observability: metrics, tracing spans, and structured events.
+
+A dependency-free telemetry layer shared by the whole pipeline:
+
+* :class:`MetricsRegistry` — thread-safe counters, gauges, and
+  log-bucketed latency histograms with Prometheus-text and JSON export;
+* :class:`Tracer` / :class:`Span` — nested, annotated wall-time spans
+  over the serving hot path (encode → forward → predict → guard);
+* :class:`EventLog` — one JSONL structured event stream with a
+  per-component stdlib-``logging`` bridge;
+* :class:`TelemetryReport` — a run's aggregate, rendered by
+  ``repro metrics`` and written by ``--emit-telemetry``.
+
+Instrumented code uses the module-level helpers (``obs.span``,
+``obs.inc``, ``obs.observe``, ``obs.set_gauge``, ``obs.emit_event``),
+which are no-ops unless a :class:`Telemetry` bundle is attached — the
+disabled cost is one global read per call site.
+"""
+
+from repro.obs.events import EventLog, EventLogHandler
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_from_snapshot,
+    render_snapshot,
+)
+from repro.obs.report import TelemetryReport, load_report
+from repro.obs.runtime import (
+    NULL_SPAN,
+    TELEMETRY_ENV_VAR,
+    Telemetry,
+    active,
+    attach,
+    attached,
+    detach,
+    emit_event,
+    enabled,
+    inc,
+    install_from_env,
+    observe,
+    set_gauge,
+    span,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "prometheus_from_snapshot",
+    "render_snapshot",
+    "Span",
+    "Tracer",
+    "EventLog",
+    "EventLogHandler",
+    "TelemetryReport",
+    "load_report",
+    "Telemetry",
+    "attach",
+    "detach",
+    "attached",
+    "active",
+    "enabled",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+    "emit_event",
+    "install_from_env",
+    "NULL_SPAN",
+    "TELEMETRY_ENV_VAR",
+]

@@ -1,0 +1,127 @@
+"""Run reports: aggregate one run's telemetry into a machine-readable
+artifact.
+
+A :class:`TelemetryReport` snapshots the registry, recent span trees,
+and event tallies into one plain dict, serializable as JSON. The CLI's
+``--emit-telemetry PATH`` appends it as the final ``obs/telemetry_report``
+event of the run's JSONL stream, and ``repro metrics PATH`` loads either
+form (bare JSON report, or JSONL stream containing one) and renders it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import prometheus_from_snapshot, render_snapshot
+
+__all__ = ["TelemetryReport", "load_report"]
+
+#: Event type that carries a report inside a JSONL stream.
+REPORT_EVENT = "telemetry_report"
+
+
+class TelemetryReport:
+    """Aggregated snapshot of one run's metrics, spans, and events."""
+
+    def __init__(self, metrics: dict[str, dict],
+                 spans: list[dict] | None = None,
+                 event_counts: dict[str, int] | None = None) -> None:
+        self.metrics = metrics
+        self.spans = spans or []
+        self.event_counts = event_counts or {}
+
+    @classmethod
+    def from_telemetry(cls, telemetry) -> "TelemetryReport":
+        """Snapshot an active :class:`~repro.obs.runtime.Telemetry`."""
+        return cls(
+            metrics=telemetry.registry.snapshot(),
+            spans=[root.to_dict() for root in telemetry.tracer.roots()[-16:]],
+            event_counts=telemetry.events.counts(),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "event_counts": self.event_counts,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The report's metrics in Prometheus text format."""
+        return prometheus_from_snapshot(self.metrics)
+
+    def write(self, path: str | pathlib.Path) -> None:
+        """Write the JSON report to ``path``."""
+        pathlib.Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def render(self) -> str:
+        """Human-readable tables: metrics, then event tallies."""
+        # Imported lazily: repro.eval pulls in the experiment harness
+        # (and through it this package) — a module-level import would
+        # be a cycle.
+        from repro.eval.reporting import render_table
+
+        parts = [render_table(
+            "telemetry metrics",
+            ["metric", "kind", "value"],
+            render_snapshot(self.metrics) or [["(none)", "", ""]])]
+        if self.event_counts:
+            rows = [[key, str(count)]
+                    for key, count in sorted(self.event_counts.items())]
+            parts.append(render_table("events", ["component.event", "count"], rows))
+        return "\n\n".join(parts)
+
+
+def load_report(path: str | pathlib.Path) -> TelemetryReport:
+    """Load a report artifact written by a previous run.
+
+    Accepts either a bare JSON report (``TelemetryReport.write``) or a
+    JSONL event stream (``--emit-telemetry``), in which case the *last*
+    ``telemetry_report`` event wins — a restarted run overwrites its
+    predecessor's summary, not vice versa.
+    """
+    p = pathlib.Path(path)
+    if not p.exists():
+        raise TelemetryError(f"telemetry artifact not found: {p}")
+    text = p.read_text(encoding="utf-8").strip()
+    if not text:
+        raise TelemetryError(f"telemetry artifact is empty: {p}")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "metrics" in document:
+        return TelemetryReport(
+            metrics=document.get("metrics", {}),
+            spans=document.get("spans", []),
+            event_counts=document.get("event_counts", {}),
+        )
+    # JSONL stream: scan for the last embedded report event.
+    report = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"{p}:{lineno} is not valid JSON ({exc})") from exc
+        if record.get("event") == REPORT_EVENT and "report" in record:
+            report = record["report"]
+    if report is None:
+        raise TelemetryError(
+            f"{p} contains no '{REPORT_EVENT}' event and is not a JSON "
+            "report — was the run interrupted before the report was written?")
+    return TelemetryReport(
+        metrics=report.get("metrics", {}),
+        spans=report.get("spans", []),
+        event_counts=report.get("event_counts", {}),
+    )

@@ -45,15 +45,28 @@ class BreakerConfig:
 
 
 class CircuitBreaker:
-    """Tracks the health of one fallback-chain stage."""
+    """Tracks the health of one fallback-chain stage.
+
+    ``on_transition(old, new)`` is invoked whenever the state actually
+    changes (never on same-state updates) — the telemetry layer uses it
+    to emit breaker-transition events without the breaker knowing about
+    telemetry.
+    """
 
     def __init__(self, config: BreakerConfig | None = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Callable[[str, str], None] | None = None) -> None:
         self.config = config or BreakerConfig()
         self._clock = clock
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self.on_transition = on_transition
+
+    def _set_state(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     @property
     def state(self) -> str:
@@ -77,14 +90,14 @@ class CircuitBreaker:
         """
         if self._state == OPEN:
             if self._clock() - self._opened_at >= self.config.cooldown_seconds:
-                self._state = HALF_OPEN
+                self._set_state(HALF_OPEN)
                 return True
             return False
         return True
 
     def record_success(self) -> None:
         """Protected call succeeded: reset to closed."""
-        self._state = CLOSED
+        self._set_state(CLOSED)
         self._consecutive_failures = 0
 
     def record_failure(self) -> None:
@@ -92,11 +105,11 @@ class CircuitBreaker:
         self._consecutive_failures += 1
         if (self._state == HALF_OPEN
                 or self._consecutive_failures >= self.config.failure_threshold):
-            self._state = OPEN
+            self._set_state(OPEN)
             self._opened_at = self._clock()
 
     def reset(self) -> None:
         """Force the breaker back to pristine closed state."""
-        self._state = CLOSED
+        self._set_state(CLOSED)
         self._consecutive_failures = 0
         self._opened_at = 0.0

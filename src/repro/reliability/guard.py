@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.gpsj import GPSJCostModel
 from repro.cluster.resources import ResourceProfile
 from repro.core.predictor import CostPredictor
@@ -160,10 +161,21 @@ class GuardedCostPredictor:
         self.retry_policy = retry_policy or RetryPolicy(attempts=2, base_delay=0.0)
         self._sleep = sleep
         self.breakers = {
-            stage: CircuitBreaker(config=breaker_config, clock=clock)
+            stage: CircuitBreaker(config=breaker_config, clock=clock,
+                                  on_transition=self._breaker_listener(stage))
             for stage in self.chain
         }
         self.stats = {stage: _StageStats() for stage in self.chain}
+
+    @staticmethod
+    def _breaker_listener(stage: str) -> Callable[[str, str], None]:
+        """Telemetry hook for one stage's breaker state changes."""
+        def _on_transition(old: str, new: str) -> None:
+            obs.inc(f"guard.{stage}.breaker_transitions_total",
+                    help="Circuit breaker state changes")
+            obs.emit_event("guard", "breaker_transition",
+                           stage=stage, old=old, new=new)
+        return _on_transition
 
     # -- CostPredictor-compatible surface ---------------------------------
     @property
@@ -213,6 +225,25 @@ class GuardedCostPredictor:
             reason=explained.reason,
         )
 
+    def degradation_counts(self) -> dict[str, int]:
+        """Cumulative fallback accounting across the predictor's lifetime.
+
+        Mirrors the ``guard.*`` registry counters for callers that hold
+        the predictor but not the telemetry bundle (``repro doctor``,
+        tests). ``degraded`` counts answers served by any stage other
+        than the chain's first.
+        """
+        served = {stage: s.served for stage, s in self.stats.items()}
+        total = sum(served.values())
+        counts = {"requests_served": total,
+                  "degraded": total - served.get(self.chain[0], 0)}
+        for stage, stat in self.stats.items():
+            counts[f"{stage}.served"] = stat.served
+            counts[f"{stage}.failures"] = stat.failures
+            counts[f"{stage}.skipped_open"] = stat.skipped_open
+            counts[f"{stage}.rejected_input"] = stat.rejected_input
+        return counts
+
     # -- the chain ---------------------------------------------------------
     def predict_many_explained(
         self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
@@ -229,42 +260,74 @@ class GuardedCostPredictor:
         """
         if not pairs:
             return ExplainedPredictions(costs=np.zeros(0), source=self.chain[0])
-        reasons: list[str] = []
-        for stage in self.chain:
-            breaker = self.breakers[stage]
-            stats = self.stats[stage]
-            if stage == "raal":
-                problem = self._validate_inputs(pairs)
-                if problem is not None:
-                    stats.rejected_input += 1
-                    reasons.append(f"raal: {problem}")
+        with obs.span("guarded_predict", pairs=len(pairs)) as sp:
+            obs.inc("guard.requests_total", help="Guarded prediction requests")
+            reasons: list[str] = []
+            for stage in self.chain:
+                breaker = self.breakers[stage]
+                stats = self.stats[stage]
+                if stage == "raal":
+                    problem = self._validate_inputs(pairs)
+                    if problem is not None:
+                        stats.rejected_input += 1
+                        obs.inc("guard.raal.rejected_input_total",
+                                help="Requests the learned model refused")
+                        obs.emit_event("guard", "rejected_input",
+                                       stage="raal", reason=problem)
+                        reasons.append(f"raal: {problem}")
+                        continue
+                if not breaker.allow():
+                    stats.skipped_open += 1
+                    obs.inc(f"guard.{stage}.skipped_open_total",
+                            help="Stage skipped while breaker open")
+                    reasons.append(f"{stage}: circuit open")
                     continue
-            if not breaker.allow():
-                stats.skipped_open += 1
-                reasons.append(f"{stage}: circuit open")
-                continue
-            try:
-                costs = self._run_stage(stage, pairs, fast=fast)
-            except Exception as exc:  # reliability boundary: degrade, never crash
-                breaker.record_failure()
-                stats.failures += 1
-                reasons.append(f"{stage}: {exc}")
-                continue
-            breaker.record_success()
-            stats.served += 1
-            return ExplainedPredictions(
-                costs=costs, source=stage,
-                reason="; ".join(reasons) or None,
-            )
-        raise PredictionError(
-            "all fallback stages failed: " + "; ".join(reasons))
+                try:
+                    costs = self._run_stage(stage, pairs, fast=fast)
+                except Exception as exc:  # reliability boundary: degrade, never crash
+                    breaker.record_failure()
+                    stats.failures += 1
+                    obs.inc(f"guard.{stage}.failures_total",
+                            help="Stage failures")
+                    obs.emit_event("guard", "stage_failure",
+                                   stage=stage, error=str(exc))
+                    reasons.append(f"{stage}: {exc}")
+                    continue
+                breaker.record_success()
+                stats.served += 1
+                obs.inc(f"guard.{stage}.served_total",
+                        help="Requests answered by this stage")
+                degraded = stage != self.chain[0]
+                sp.annotate(source=stage, degraded=degraded)
+                if degraded:
+                    obs.inc("guard.degraded_total",
+                            help="Requests served by a fallback stage")
+                    obs.emit_event("guard", "fallback", source=stage,
+                                   reason="; ".join(reasons) or None)
+                return ExplainedPredictions(
+                    costs=costs, source=stage,
+                    reason="; ".join(reasons) or None,
+                )
+            obs.inc("guard.exhausted_total",
+                    help="Requests for which every stage failed")
+            obs.emit_event("guard", "chain_exhausted",
+                           reason="; ".join(reasons))
+            raise PredictionError(
+                "all fallback stages failed: " + "; ".join(reasons))
 
     # -- stages ------------------------------------------------------------
     def _run_stage(self, stage: str, pairs, fast: bool) -> np.ndarray:
         if stage == "raal":
+            def _on_retry(retry_index: int, exc: BaseException) -> None:
+                obs.inc("guard.raal.retry_attempts_total",
+                        help="Transient-fault retries of the learned model")
+                obs.emit_event("guard", "retry", stage="raal",
+                               attempt=retry_index + 1, error=str(exc))
+
             return retry_call(
                 lambda: self._raal_costs(pairs, fast=fast),
-                policy=self.retry_policy, sleep=self._sleep)
+                policy=self.retry_policy, sleep=self._sleep,
+                on_retry=_on_retry)
         if stage == "gpsj":
             return self._gpsj_costs(pairs)
         return self._heuristic_costs(pairs)

@@ -1,0 +1,32 @@
+"""Suite-wide fixtures and the CI telemetry hook.
+
+When ``REPRO_TELEMETRY_PATH`` is set (the CI telemetry job exports it),
+the whole test session runs under an attached telemetry bundle that
+streams structured events to that path and appends a final
+``telemetry_report`` event at session end — so CI can assert the
+instrumentation emits parseable JSONL with the core metric names while
+the normal tier-1 suite runs.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+_SESSION_TELEMETRY: obs.Telemetry | None = None
+
+
+def pytest_configure(config) -> None:
+    global _SESSION_TELEMETRY
+    _SESSION_TELEMETRY = obs.install_from_env()
+
+
+def pytest_unconfigure(config) -> None:
+    global _SESSION_TELEMETRY
+    telemetry = _SESSION_TELEMETRY
+    _SESSION_TELEMETRY = None
+    if telemetry is None:
+        return
+    report = obs.TelemetryReport.from_telemetry(telemetry)
+    telemetry.events.emit("obs", "telemetry_report", report=report.to_dict())
+    telemetry.close()
+    obs.detach()

@@ -128,3 +128,92 @@ class TestDoctor:
     def test_doctor_missing_directory(self, tmp_path, capsys):
         code = main(["doctor", str(tmp_path / "ghost")])
         assert code == 1
+
+    def test_doctor_reports_telemetry_self_check(self, shared_model_dir,
+                                                 capsys):
+        code = main(["doctor", shared_model_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry self-check OK" in out
+        assert "encode/forward stages" in out
+
+
+class TestTelemetryFlag:
+    def test_predict_emits_telemetry_jsonl(self, shared_model_dir, tmp_path,
+                                           capsys):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        code = main([
+            "predict", "--model", shared_model_dir, "--catalog-scale", "0.05",
+            "--sql", "select count(*) from title t",
+            "--emit-telemetry", str(path)])
+        assert code == 0
+        records = [json.loads(line)
+                   for line in path.read_text().strip().splitlines()]
+        assert records, "telemetry stream is empty"
+        final = records[-1]
+        assert final["event"] == "telemetry_report"
+        metrics = final["report"]["metrics"]
+        assert "guard.requests_total" in metrics
+        assert "selector.selections_total" in metrics
+        assert "encoder.cache.misses" in metrics
+        assert metrics["predict.forward_seconds"]["count"] >= 1
+
+    def test_experiment_telemetry_covers_training(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "train.jsonl"
+        code = main(["experiment", "--queries", "12", "--epochs", "2",
+                     "--catalog-scale", "0.05",
+                     "--emit-telemetry", str(path)])
+        assert code == 0
+        records = [json.loads(line)
+                   for line in path.read_text().strip().splitlines()]
+        epochs = [r for r in records
+                  if r["component"] == "trainer" and r["event"] == "epoch"]
+        assert len(epochs) >= 2
+        metrics = records[-1]["report"]["metrics"]
+        assert metrics["train.epoch_seconds"]["count"] >= 2
+        assert "train.epochs_run" in metrics
+
+
+class TestMetricsVerb:
+    @pytest.fixture(scope="class")
+    def artifact(self, shared_model_dir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("telemetry") / "run.jsonl"
+        code = main([
+            "predict", "--model", shared_model_dir, "--catalog-scale", "0.05",
+            "--sql", "select count(*) from title t",
+            "--emit-telemetry", str(path)])
+        assert code == 0
+        return str(path)
+
+    def test_metrics_table(self, artifact, capsys):
+        code = main(["metrics", artifact])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guard.requests_total" in out
+        assert "predict.forward_seconds" in out
+
+    def test_metrics_json(self, artifact, capsys):
+        import json
+
+        code = main(["metrics", artifact, "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["metrics"]["guard.requests_total"]["value"] >= 1
+
+    def test_metrics_prometheus(self, artifact, capsys):
+        code = main(["metrics", artifact, "--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE guard_requests_total counter" in out
+        assert 'predict_forward_seconds_bucket{le="+Inf"}' in out
+
+    def test_metrics_missing_artifact_one_liner(self, tmp_path, capsys):
+        code = main(["metrics", str(tmp_path / "ghost.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
