@@ -196,3 +196,19 @@ class RAAL(Module):
 
         with obs.span("forward_inference", batch=batch.size):
             return raal_forward_inference(self, batch)
+
+    def forward_backward(self, batch: RAALBatch) -> tuple[float, np.ndarray]:
+        """Fused training step: graph-free forward + analytic backward.
+
+        Computes the MSE loss against ``batch.targets`` and accumulates
+        closed-form gradients into every parameter's ``.grad`` —
+        numerically equivalent (≤ 1e-8 per parameter) to ``forward``
+        followed by ``mse_loss(...).backward()``, without building the
+        autograd graph. Returns ``(loss, predictions)``. The training
+        fast path used by :meth:`repro.core.trainer.Trainer.fit`.
+        """
+        from repro import obs
+        from repro.nn.training import raal_forward_backward
+
+        with obs.span("forward_backward", batch=batch.size):
+            return raal_forward_backward(self, batch)

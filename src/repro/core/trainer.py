@@ -99,6 +99,13 @@ class TrainerConfig:
     # raises TrainingError instead of returning a poisoned model.
     divergence_max_recoveries: int = 3
     divergence_spike_factor: float = 50.0
+    # Fused training step: gradients computed in closed form over
+    # contiguous numpy buffers (``RAAL.forward_backward``) instead of
+    # the per-timestep autograd graph, and validation evaluated through
+    # the graph-free ``forward_inference``. Equivalent to the legacy
+    # autograd path to ≤ 1e-8 per parameter; set False to train through
+    # autograd (``repro train --no-fast-path``).
+    fast_path: bool = True
     seed: int = 0
     verbose: bool = False
 
@@ -127,6 +134,7 @@ class TrainResult:
     train_seconds: float = 0.0
     recoveries: list[RecoveryEvent] = field(default_factory=list)
     epoch_seconds: list[float] = field(default_factory=list)
+    samples_per_sec: list[float] = field(default_factory=list)
 
     @property
     def final_train_loss(self) -> float:
@@ -171,6 +179,15 @@ class Trainer:
         val_samples = [samples[i] for i in order[:n_val]]
         train_samples = [samples[i] for i in order[n_val:]]
 
+        # Epoch-persistent collation: length-bucketed batches are padded
+        # exactly once, before the epoch loop; epochs only reshuffle the
+        # batch *order* (one rng draw per epoch, identical on the fast
+        # and legacy paths). Validation batches are likewise collated
+        # once and reused by every evaluation.
+        train_batches = self._collate_bucketed(train_samples)
+        val_batches = self._collate_bucketed(val_samples)
+        use_fast = cfg.fast_path and hasattr(self.model, "forward_backward")
+
         current_lr = cfg.learning_rate
 
         def make_optimizer(lr: float):
@@ -191,32 +208,47 @@ class Trainer:
         for epoch in range(cfg.epochs):
             epoch_start = self.clock()
             self.model.train()
-            perm = rng.permutation(len(train_samples))
+            perm = rng.permutation(len(train_batches))
             epoch_loss = 0.0
             batches = 0
-            for lo in range(0, len(train_samples), cfg.batch_size):
-                chunk = [train_samples[i] for i in perm[lo : lo + cfg.batch_size]]
-                batch = collate(chunk)
+            samples_seen = 0
+            for bi in perm:
+                batch = train_batches[bi]
                 optimizer.zero_grad()
-                pred = self.model(batch)
-                loss = mse_loss(pred, Tensor(batch.targets))
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                if use_fast:
+                    # Analytic gradients straight into .grad; the loss
+                    # value is still computed through the module-level
+                    # mse_loss so fault injection and monkeypatching
+                    # see the same call sites as the legacy path.
+                    _, pred_np = self.model.forward_backward(batch)
+                    loss = mse_loss(Tensor(pred_np), Tensor(batch.targets))
+                else:
+                    pred = self.model(batch)
+                    loss = mse_loss(pred, Tensor(batch.targets))
+                    loss.backward()
+                clip_grad_norm(optimizer.parameters, cfg.grad_clip)
                 optimizer.step()
                 epoch_loss += loss.item()
                 batches += 1
+                samples_seen += batch.size
             train_loss = epoch_loss / max(batches, 1)
-            val_loss = self.evaluate_loss(val_samples)
+            val_loss = self._evaluate_batches(val_batches)
             result.train_losses.append(train_loss)
             result.val_losses.append(val_loss)
             epoch_seconds = self.clock() - epoch_start
             result.epoch_seconds.append(epoch_seconds)
+            throughput = samples_seen / epoch_seconds if epoch_seconds > 0 else 0.0
+            result.samples_per_sec.append(throughput)
             obs.observe("train.epoch_seconds", epoch_seconds,
                         help="Wall-clock per training epoch")
+            obs.observe("train.samples_per_sec", throughput,
+                        help="Training throughput per epoch")
+            obs.inc("train.batches", batches,
+                    help="Training batches processed")
             obs.emit_event("trainer", "epoch", epoch=epoch,
                            train_loss=train_loss, val_loss=val_loss,
                            learning_rate=getattr(optimizer, "lr", current_lr),
-                           seconds=epoch_seconds)
+                           seconds=epoch_seconds, throughput=throughput)
 
             divergence = self._divergence_reason(train_loss, val_loss, best_train)
             if divergence is not None:
@@ -289,22 +321,51 @@ class Trainer:
                     f"fitted model parameter {name!r} contains non-finite "
                     "values — training never produced a finite state")
 
+    def _collate_bucketed(self, samples: list[TrainingSample]) -> list[RAALBatch]:
+        """Collate samples into length-bucketed, padded batches — once.
+
+        Samples are stably sorted by node count so a batch of short
+        plans is not padded to the longest plan in the split; the
+        resulting batches are reused across every epoch (only their
+        order is reshuffled), removing per-epoch re-padding.
+        """
+        if not samples:
+            return []
+        order = np.argsort([s.encoded.num_nodes for s in samples], kind="stable")
+        bs = self.config.batch_size
+        return [collate([samples[i] for i in order[lo : lo + bs]])
+                for lo in range(0, len(samples), bs)]
+
+    def _evaluate_batches(self, batches: list[RAALBatch]) -> float:
+        """Mean MSE (log space) over pre-collated batches, in eval mode.
+
+        With ``fast_path`` the forward runs through the fused graph-free
+        :meth:`RAAL.forward_inference`; the loss value itself always
+        goes through the module-level :func:`mse_loss` (same call sites
+        as the legacy path, so fault injection keeps working).
+        """
+        if not batches:
+            raise TrainingError("cannot evaluate on an empty sample list")
+        self.model.eval()
+        use_fast = (self.config.fast_path
+                    and hasattr(self.model, "forward_inference"))
+        total = 0.0
+        count = 0
+        with no_grad():
+            for batch in batches:
+                if use_fast:
+                    pred = Tensor(self.model.forward_inference(batch))
+                else:
+                    pred = self.model(batch)
+                total += mse_loss(pred, Tensor(batch.targets)).item() * batch.size
+                count += batch.size
+        return total / count
+
     def evaluate_loss(self, samples: list[TrainingSample]) -> float:
         """Mean MSE (log space) over samples, in eval mode."""
         if not samples:
             raise TrainingError("cannot evaluate on an empty sample list")
-        self.model.eval()
-        total = 0.0
-        count = 0
-        cfg = self.config
-        with no_grad():
-            for lo in range(0, len(samples), cfg.batch_size):
-                chunk = samples[lo : lo + cfg.batch_size]
-                batch = collate(chunk)
-                pred = self.model(batch)
-                total += mse_loss(pred, Tensor(batch.targets)).item() * len(chunk)
-                count += len(chunk)
-        return total / count
+        return self._evaluate_batches(self._collate_bucketed(samples))
 
     def predict_log(self, encoded: list[EncodedPlan], fast: bool = True,
                     bucket: bool = True) -> np.ndarray:

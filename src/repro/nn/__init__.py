@@ -32,6 +32,13 @@ from repro.nn.optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
 from repro.nn.rnn import LSTM, LSTMCell
 from repro.nn.serialization import load_model, save_model
 from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.nn.training import (
+    fused_lstm_backward,
+    fused_lstm_forward_cached,
+    node_attention_backward,
+    raal_forward_backward,
+    resource_attention_backward,
+)
 
 __all__ = [
     "Tensor",
@@ -68,4 +75,9 @@ __all__ = [
     "resource_attention_forward",
     "masked_mean_forward",
     "dense_forward",
+    "raal_forward_backward",
+    "fused_lstm_forward_cached",
+    "fused_lstm_backward",
+    "node_attention_backward",
+    "resource_attention_backward",
 ]

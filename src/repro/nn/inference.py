@@ -46,8 +46,16 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     shifted = x - x.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=axis, keepdims=True)
+    # Mask bias pushes entries to ~-1e9; exp() of those underflows
+    # through libm's slow denormal path, and anything closer to the
+    # underflow edge turns into denormals after the division below,
+    # which poisons every downstream multiply. Flooring at -200 keeps
+    # exp fast and every derived value in the normal range while
+    # perturbing masked weights by at most ~1e-87.
+    np.clip(shifted, -200.0, None, out=shifted)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
 
 
 def fused_lstm_forward(
@@ -76,32 +84,13 @@ def fused_lstm_forward(
     np.ndarray
         Hidden states ``(batch, seq, H)``.
     """
-    if x.ndim != 3:
-        raise ShapeError(f"fused_lstm_forward expects (batch, seq, input), got {x.shape}")
-    batch, seq, input_size = x.shape
-    hidden_size = w_h.shape[0]
-    # One big GEMM for every timestep's input projection.
-    x_proj = (x.reshape(batch * seq, input_size) @ w_x).reshape(batch, seq, 4 * hidden_size)
-    x_proj = x_proj + bias
-    h = np.zeros((batch, hidden_size))
-    c = np.zeros((batch, hidden_size))
-    outputs = np.empty((batch, seq, hidden_size))
-    hs = hidden_size
-    for t in range(seq):
-        gates = x_proj[:, t] + h @ w_h
-        i = _sigmoid(gates[:, 0 * hs : 1 * hs])
-        f = _sigmoid(gates[:, 1 * hs : 2 * hs])
-        g = np.tanh(gates[:, 2 * hs : 3 * hs])
-        o = _sigmoid(gates[:, 3 * hs : 4 * hs])
-        c_new = f * c + i * g
-        h_new = o * np.tanh(c_new)
-        if mask is not None:
-            m = mask[:, t : t + 1].astype(np.float64)
-            h = h_new * m + h * (1.0 - m)
-            c = c_new * m + c * (1.0 - m)
-        else:
-            h, c = h_new, c_new
-        outputs[:, t] = h
+    # Single implementation with the training fast path: the cached
+    # time-major kernel is faster than a per-gate loop even counting the
+    # activation slabs it records (lazy import: training imports from
+    # this module).
+    from repro.nn.training import fused_lstm_forward_cached
+
+    outputs, _ = fused_lstm_forward_cached(x, w_x, w_h, bias, mask=mask)
     return outputs
 
 

@@ -69,28 +69,78 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Moments live in one flat slab each, updated with a handful of
+        # full-width ufunc passes per step instead of ~11 tiny ops per
+        # parameter; the per-parameter views below alias the slabs so
+        # the sparse-gradient fallback shares the same state.
+        sizes = [p.data.size for p in self.parameters]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        self._spans = [slice(int(a), int(b))
+                       for a, b in zip(offsets[:-1], offsets[1:])]
+        total = int(offsets[-1])
+        self._mflat = np.zeros(total)
+        self._vflat = np.zeros(total)
+        self._gflat = np.empty(total)
+        self._bflat = np.empty(total)
+        self._m = [self._mflat[s].reshape(p.data.shape)
+                   for p, s in zip(self.parameters, self._spans)]
+        self._v = [self._vflat[s].reshape(p.data.shape)
+                   for p, s in zip(self.parameters, self._spans)]
+        self._buf = [self._bflat[s].reshape(p.data.shape)
+                     for p, s in zip(self.parameters, self._spans)]
         self._t = 0
 
     def step(self) -> None:
-        """One bias-corrected Adam update."""
+        """One bias-corrected Adam update (allocation-free)."""
         self._t += 1
         bc1 = 1.0 - self.beta1 ** self._t
         bc2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        if any(p.grad is None for p in self.parameters):
+            self._step_unpacked(bc1, bc2)
+            return
+        g = self._gflat
+        for p, s in zip(self.parameters, self._spans):
+            g[s] = p.grad.reshape(-1)
+            if self.weight_decay:
+                g[s] += self.weight_decay * p.data.reshape(-1)
+        m, v, buf = self._mflat, self._vflat, self._bflat
+        m *= self.beta1
+        np.multiply(g, 1.0 - self.beta1, out=buf)
+        m += buf
+        v *= self.beta2
+        np.multiply(g, g, out=buf)
+        buf *= 1.0 - self.beta2
+        v += buf
+        # p -= lr * (m / bc1) / (sqrt(v / bc2) + eps)
+        np.divide(v, bc2, out=buf)
+        np.sqrt(buf, out=buf)
+        buf += self.eps
+        np.divide(m, buf, out=buf)
+        buf *= self.lr / bc1
+        for p, s in zip(self.parameters, self._spans):
+            p.data -= buf[s].reshape(p.data.shape)
+
+    def _step_unpacked(self, bc1: float, bc2: float) -> None:
+        """Per-parameter update, skipping parameters with no gradient."""
+        for p, m, v, buf in zip(self.parameters, self._m, self._v, self._buf):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bc1
-            v_hat = v / bc2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
+            v += buf
+            np.divide(v, bc2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= self.lr / bc1
+            p.data -= buf
 
 
 class StepLR:
@@ -121,7 +171,8 @@ def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:
     total = 0.0
     params = [p for p in parameters if p.grad is not None]
     for p in params:
-        total += float((p.grad ** 2).sum())
+        flat = p.grad.ravel()
+        total += float(flat @ flat)
     norm = math.sqrt(total)
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
