@@ -1,0 +1,75 @@
+"""Run metadata for every ``BENCH_*.json`` artifact.
+
+Performance numbers are only comparable when the run context is
+attributable: which commit, which numpy/BLAS build, how many cores, and
+which BLAS threading caps were in force. :func:`run_metadata` collects
+that context; :func:`write_bench_json` stamps it into each benchmark
+artifact under a ``"meta"`` key, so the perf trajectory across PRs can
+separate code changes from environment changes.
+
+Timestamps are passed in by the harness (or default to the wall clock
+at write time) so replayed/recorded runs can carry their original
+capture time.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import subprocess
+
+import numpy as np
+
+__all__ = ["run_metadata", "write_bench_json"]
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+# Environment caps that change BLAS behavior between otherwise-identical
+# hosts; recorded verbatim when set.
+_THREAD_ENV = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS")
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=_REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        return out.stdout.strip() or None if out.returncode == 0 else None
+    except OSError:
+        return None
+
+
+def _blas_info() -> dict:
+    """Name/version of the BLAS numpy linked against (best effort)."""
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        return {"name": blas.get("name"), "version": blas.get("version")}
+    except Exception:  # pragma: no cover - numpy build without dicts mode
+        return {}
+
+
+def run_metadata(timestamp: str | None = None) -> dict:
+    """Attributable context of one benchmark run."""
+    if timestamp is None:
+        timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds")
+    return {
+        "git_sha": _git_sha(),
+        "timestamp": timestamp,
+        "numpy_version": np.__version__,
+        "blas": _blas_info(),
+        "cpu_count": os.cpu_count(),
+        "thread_env": {name: os.environ[name]
+                       for name in _THREAD_ENV if name in os.environ},
+    }
+
+
+def write_bench_json(path: pathlib.Path, payload: dict,
+                     timestamp: str | None = None) -> None:
+    """Write a ``BENCH_*.json`` artifact with run metadata attached."""
+    payload = dict(payload)
+    payload["meta"] = run_metadata(timestamp=timestamp)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -21,13 +21,13 @@ fast-path predictions within 1e-6 of the autograd path.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
 import numpy as np
 
 from benchmarks.conftest import get_fixed_pipeline, publish
+from benchmarks.runmeta import write_bench_json
 from repro.core import CostPredictor
 from repro.core.advisor import default_profile_grid
 from repro.encoding import PlanEncoder
@@ -133,13 +133,33 @@ def test_inference_throughput(benchmark):
         "max_abs_diff_seconds": bulk_diff,
     }
 
+    # -- precision tiers on the grid shape -----------------------------
+    # f32/int8 with factored grid execution (plan-side network once per
+    # plan) vs the fast f64 pairwise grid above. Relative error is
+    # bounded by each tier's documented budget (DESIGN.md).
+    from repro.core.predictor import PredictorConfig
+
+    results["precision"] = {}
+    for tier in ("f32", "int8"):
+        tiered = predictor.configured(
+            PredictorConfig(precision=tier, threads=0, factor_grids=True))
+        tier_s, tier_matrix = _best_of(
+            lambda: tiered.predict_grid(plans, profiles))
+        rel = float((np.abs(tier_matrix - fast_matrix)
+                     / np.maximum(np.abs(fast_matrix), 1e-9)).max())
+        results["precision"][tier] = {
+            "pairs_per_sec": len(grid_pairs) / tier_s,
+            "speedup_vs_fast_f64": fast_grid_s / tier_s,
+            "max_rel_diff_vs_f64": rel,
+        }
+
     results["config"] = {
         "grid_plans": GRID_PLANS,
         "grid_profiles": GRID_PROFILES,
         "cache_size": encoder.cache_size,
         "batch_size": trainer.config.batch_size,
     }
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench_json(BENCH_JSON, results)
 
     rows = [[name,
              results[name]["pairs"],
@@ -160,3 +180,12 @@ def test_inference_throughput(benchmark):
     for name in ("single", "grid", "bulk"):
         assert results[name]["max_abs_diff_seconds"] <= 1e-6, results[name]
         assert results[name]["speedup"] >= 1.0, results[name]
+    # The float32 multi-threaded factored grid must at least double the
+    # float64 single-threaded throughput; drift stays within the
+    # documented budgets (f32 rounding / int8 quantization, DESIGN.md).
+    assert results["precision"]["f32"]["speedup_vs_fast_f64"] >= 2.0, \
+        results["precision"]
+    assert results["precision"]["f32"]["max_rel_diff_vs_f64"] <= 1e-4, \
+        results["precision"]
+    assert results["precision"]["int8"]["max_rel_diff_vs_f64"] <= 0.05, \
+        results["precision"]

@@ -24,12 +24,12 @@ scale-independent and never relaxed.
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 
 import numpy as np
 
+from benchmarks.runmeta import write_bench_json
 from benchmarks.conftest import publish
 from repro.core import RAAL, RAALConfig, Trainer, TrainerConfig
 from repro.core.trainer import TrainingSample
@@ -144,7 +144,7 @@ def test_train_throughput():
             "hidden_size": MODEL_CONFIG.hidden_size,
         },
     }
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench_json(BENCH_JSON, results)
 
     rows = [[name,
              f"{stats['samples_per_sec']:.0f}",

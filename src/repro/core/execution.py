@@ -1,0 +1,247 @@
+"""Precision-tiered, bucket-parallel execution engine for inference.
+
+:class:`BucketExecutor` owns the prediction hot loop that used to live
+inline in :meth:`Trainer.predict_log`:
+
+* **Length bucketing** — plans are stable-sorted by node count before
+  batching, so a batch of short plans is never padded to the longest
+  plan in the workload. Same order and batch composition as before, so
+  the default configuration is bit-identical to the pre-engine path.
+* **Precision tiers** — the forward runs over an
+  :class:`~repro.nn.precision.InferenceWeights` bundle (f64 / f32 /
+  int8); collation pads directly into the execution dtype.
+* **Bucket parallelism** — with ``threads > 1`` the independent
+  per-bucket forwards run on a thread pool. numpy releases the GIL
+  inside BLAS and the large elementwise sweeps, so buckets genuinely
+  overlap on multi-core hosts. Workers write disjoint slices of the
+  output array; each worker collates into its own thread-local
+  :class:`~repro.nn.arena.ScratchArena`.
+* **Arena collation** — inference does not need the training collate's
+  Tensor targets or fresh allocations; pads are written into grow-only
+  per-thread scratch buffers, so a steady-state request stream performs
+  no collation allocations at all.
+* **Factored grids** — :meth:`predict_log_grid` evaluates a
+  ``plans × profiles`` grid through
+  :func:`~repro.nn.inference.raal_grid_inference`, running the
+  plan-side network once per *plan* instead of once per *pair*.
+
+The autograd fallback (``fast=False``) stays float64-only: it exists to
+cross-check the fused kernels against the training graph, which is a
+float64 artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.raal import RAALBatch
+from repro.errors import PredictionError
+from repro.nn.arena import ScratchArena, thread_local_arena
+from repro.nn.precision import (
+    DEFAULT_PRECISION,
+    InferenceWeights,
+    inference_weights,
+)
+from repro.nn.inference import raal_grid_inference
+from repro.nn.tensor import no_grad
+
+__all__ = ["BucketExecutor", "collate_inference", "resolve_threads"]
+
+
+def resolve_threads(threads: int | None) -> int:
+    """Effective worker count: ``None``/``0`` means one per CPU core."""
+    if threads is None or threads <= 0:
+        return os.cpu_count() or 1
+    return int(threads)
+
+
+def collate_inference(encoded: list, dtype: np.dtype,
+                      arena: ScratchArena | None = None) -> RAALBatch:
+    """Zero-pad encoded plans into an inference-only :class:`RAALBatch`.
+
+    The inference twin of :func:`repro.core.trainer.collate`: identical
+    padding and batch layout (so bucketed predictions are bit-identical
+    to the training collate at float64), but it skips TrainingSample
+    wrapping and targets, casts directly into the execution ``dtype``,
+    and — when given an ``arena`` — writes into reusable scratch
+    buffers instead of fresh allocations. Arena-backed batches are only
+    valid until the same thread's next collate call.
+    """
+    if not encoded:
+        raise PredictionError("cannot collate an empty batch")
+    n = max(e.num_nodes for e in encoded)
+    batch = len(encoded)
+    node_dim = encoded[0].node_features.shape[1]
+
+    def zeros(key, shape, dt):
+        if arena is None:
+            return np.zeros(shape, dtype=dt)
+        return arena.zeros(key, shape, dt)
+
+    def empty(key, shape, dt):
+        if arena is None:
+            return np.empty(shape, dtype=dt)
+        return arena.empty(key, shape, dt)
+
+    feats = zeros("collate.feats", (batch, n, node_dim), dtype)
+    child = zeros("collate.child", (batch, n, n), np.bool_)
+    mask = zeros("collate.mask", (batch, n), np.bool_)
+    resources = empty("collate.resources", (batch, len(encoded[0].resources)), dtype)
+    extras = empty("collate.extras", (batch, len(encoded[0].extras)), dtype)
+    for i, e in enumerate(encoded):
+        k = e.num_nodes
+        feats[i, :k] = e.node_features
+        child[i, :k, :k] = e.child_mask
+        mask[i, :k] = True
+        resources[i] = e.resources
+        extras[i] = e.extras
+    return RAALBatch(node_features=feats, child_mask=child, node_mask=mask,
+                     resources=resources, extras=extras)
+
+
+class BucketExecutor:
+    """Runs length-bucketed model forwards at a fixed precision tier.
+
+    Parameters
+    ----------
+    model:
+        A RAAL-family model (must expose the staged inference kernels).
+    batch_size:
+        Max plans per bucket (usually ``TrainerConfig.batch_size``).
+    precision:
+        ``"f64"`` (default, bit-identical to the legacy path), ``"f32"``,
+        or ``"int8"``.
+    threads:
+        Bucket-level parallelism. ``1`` (default) stays single-threaded
+        on the caller's thread; ``None``/``0`` means one worker per CPU
+        core. The pool is created lazily and kept for the executor's
+        lifetime.
+    """
+
+    def __init__(self, model, batch_size: int,
+                 precision: str = DEFAULT_PRECISION,
+                 threads: int | None = 1) -> None:
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.precision = precision
+        self.threads = resolve_threads(threads)
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads,
+                thread_name_prefix="repro-bucket")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BucketExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+    def weights(self) -> InferenceWeights:
+        """The current weight bundle (cached per model version)."""
+        return inference_weights(self.model, self.precision)
+
+    def _bucket_order(self, lengths: list[int], bucket: bool) -> np.ndarray:
+        if bucket:
+            return np.argsort(lengths, kind="stable")
+        return np.arange(len(lengths))
+
+    def predict_log(self, encoded: list, fast: bool = True,
+                    bucket: bool = True) -> tuple[np.ndarray, int]:
+        """Log-space predictions for encoded plans.
+
+        Returns ``(predictions, n_batches)`` with predictions in input
+        order. ``fast=False`` forces the Tensor/autograd forward
+        (float64 tier only — it cross-checks against the training
+        graph, which is a float64 artifact).
+        """
+        if not encoded:
+            return np.zeros(0), 0
+        if not fast and self.precision != "f64":
+            raise PredictionError(
+                f"the autograd fallback (fast=False) only supports the f64 "
+                f"tier, not {self.precision!r}")
+        self.model.eval()
+        weights = self.weights() if fast else None
+        order = self._bucket_order([e.num_nodes for e in encoded], bucket)
+        preds = np.empty(len(encoded))
+        slices = [order[lo : lo + self.batch_size]
+                  for lo in range(0, len(order), self.batch_size)]
+
+        def run(idx: np.ndarray) -> None:
+            batch = collate_inference(
+                [encoded[i] for i in idx],
+                weights.dtype if weights is not None else np.float64,
+                arena=thread_local_arena())
+            with no_grad():
+                if fast:
+                    out = self.model.forward_inference(batch, weights)
+                else:
+                    out = self.model(batch).numpy()
+            # Disjoint index sets per bucket: concurrent writes are safe.
+            preds[idx] = out
+
+        if self.threads > 1 and len(slices) > 1 and fast:
+            pool = self._ensure_pool()
+            for future in [pool.submit(run, idx) for idx in slices]:
+                future.result()
+        else:
+            for idx in slices:
+                run(idx)
+        return preds, len(slices)
+
+    def predict_log_grid(self, encoded_plans: list,
+                         profile_features: np.ndarray) -> tuple[np.ndarray, int]:
+        """Factored log-space grid: ``(profiles, plans)`` predictions.
+
+        ``encoded_plans`` holds each distinct plan **once** (any
+        resource vector — it is ignored); ``profile_features`` is the
+        ``(P, R)`` profile matrix. Plans are length-bucketed and each
+        bucket runs the plan-side network once, then scores every
+        profile in a handful of flat GEMMs
+        (:func:`~repro.nn.inference.raal_grid_inference`). Returns
+        ``(matrix, n_batches)``.
+        """
+        n_profiles = profile_features.shape[0]
+        if not encoded_plans:
+            return np.zeros((n_profiles, 0)), 0
+        self.model.eval()
+        weights = self.weights()
+        order = self._bucket_order([e.num_nodes for e in encoded_plans], True)
+        out = np.empty((n_profiles, len(encoded_plans)))
+        profiles = np.ascontiguousarray(profile_features, dtype=weights.dtype)
+        slices = [order[lo : lo + self.batch_size]
+                  for lo in range(0, len(order), self.batch_size)]
+
+        def run(idx: np.ndarray) -> None:
+            batch = collate_inference(
+                [encoded_plans[i] for i in idx], weights.dtype,
+                arena=thread_local_arena())
+            with no_grad():
+                grid = raal_grid_inference(
+                    weights, batch.node_features, batch.child_mask,
+                    batch.node_mask, batch.extras, profiles)
+            out[:, idx] = grid
+
+        if self.threads > 1 and len(slices) > 1:
+            pool = self._ensure_pool()
+            for future in [pool.submit(run, idx) for idx in slices]:
+                future.result()
+        else:
+            for idx in slices:
+                run(idx)
+        return out, len(slices)

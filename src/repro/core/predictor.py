@@ -2,15 +2,43 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro import obs
 from repro.cluster.resources import ResourceProfile
+from repro.core.execution import BucketExecutor
 from repro.core.trainer import Trainer
-from repro.encoding.plan_encoder import PlanEncoder
+from repro.encoding.plan_encoder import EncodedPlan, PlanEncoder
+from repro.nn.precision import DEFAULT_PRECISION, resolve_dtype
 from repro.plan.physical import PhysicalPlan
 
-__all__ = ["CostPredictor"]
+__all__ = ["CostPredictor", "PredictorConfig"]
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Serving-side execution policy for a :class:`CostPredictor`.
+
+    The default configuration is **bit-identical** to the historical
+    predictor: float64 weights, single-threaded bucket execution, grids
+    evaluated pairwise.
+    """
+
+    #: Precision tier: ``"f64"`` (exact legacy behavior), ``"f32"``
+    #: (reduced-precision kernels), or ``"int8"`` (per-channel weight
+    #: quantization, float32 execution over the dequantized cache).
+    precision: str = DEFAULT_PRECISION
+    #: Bucket-level parallelism inside predict calls. ``1`` stays on
+    #: the calling thread; ``0``/``None`` means one worker per core.
+    threads: int | None = 1
+    #: Evaluate ``predict_grid`` through the factored plan-side/
+    #: resource-side kernel (one plan-side pass per *plan* instead of
+    #: per *pair*). Off by default: the pairwise path is the
+    #: bit-for-bit legacy behavior; the factored kernel is numerically
+    #: equivalent only to float rounding.
+    factor_grids: bool = False
 
 
 class CostPredictor:
@@ -26,6 +54,11 @@ class CostPredictor:
     ``fast=False`` to force the Tensor/autograd forward (still under
     ``no_grad``); predictions agree to ≤ 1e-8.
 
+    A :class:`PredictorConfig` selects the execution policy — precision
+    tier (f64 / f32 / int8), bucket-parallel threading, and factored
+    grid evaluation. The default config reproduces the historical
+    float64 single-threaded behavior bit for bit.
+
     This class is the *unguarded* path: encoding or forward failures
     propagate to the caller. Serving code that must never crash plan
     selection should wrap it in
@@ -33,13 +66,48 @@ class CostPredictor:
     input validation and the RAAL → GPSJ → heuristic fallback chain.
     """
 
-    def __init__(self, encoder: PlanEncoder, trainer: Trainer) -> None:
+    def __init__(self, encoder: PlanEncoder, trainer: Trainer,
+                 config: PredictorConfig | None = None) -> None:
         self.encoder = encoder
         self.trainer = trainer
+        self.config = config or PredictorConfig()
+        resolve_dtype(self.config.precision)  # validate eagerly
+        self._executor: BucketExecutor | None = None
+
+    def configured(self, config: PredictorConfig) -> "CostPredictor":
+        """A predictor sharing this one's encoder/model under ``config``."""
+        return CostPredictor(self.encoder, self.trainer, config)
+
+    @property
+    def executor(self) -> BucketExecutor:
+        """The lazily-built execution engine for this config."""
+        if self._executor is None:
+            self._executor = BucketExecutor(
+                self.trainer.model, self.trainer.config.batch_size,
+                precision=self.config.precision, threads=self.config.threads)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the engine's worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     def predict(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
         """Predicted cost (seconds) of running ``plan`` under ``resources``."""
         return float(self.predict_many([(plan, resources)])[0])
+
+    def predict_encoded(self, encoded: list[EncodedPlan],
+                        fast: bool = True) -> np.ndarray:
+        """Predicted costs (seconds) for already-encoded pairs.
+
+        The execution entry point shared by :meth:`predict_many` and
+        the guarded predictor's RAAL stage — both route through the
+        configured engine, so precision and threading policy apply
+        under the fallback chain too.
+        """
+        return self.trainer.predict_seconds(encoded, fast=fast,
+                                            executor=self.executor)
 
     def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
                      fast: bool = True) -> np.ndarray:
@@ -55,7 +123,7 @@ class CostPredictor:
             obs.inc("predict.pairs_total", len(pairs),
                     help="(plan, resources) pairs predicted")
             encoded = self.encoder.encode_many(pairs)
-            costs = self.trainer.predict_seconds(encoded, fast=fast)
+            costs = self.predict_encoded(encoded, fast=fast)
             obs.observe("predict.latency_seconds", self.trainer.clock() - start,
                         help="End-to-end predict_many latency")
             return costs
@@ -68,11 +136,37 @@ class CostPredictor:
         The plan-selection / resource-recommendation workload: every
         plan scored under every resource profile. Each plan is encoded
         exactly once regardless of the number of profiles.
+
+        With ``config.factor_grids`` (and ``fast=True``) the grid runs
+        through the factored kernel: the plan-side network (embedding,
+        LSTM, node attention) executes once per *plan*, and the
+        resource side scores all profiles in batched GEMMs — the same
+        math regrouped, equivalent to the pairwise path to float
+        rounding at the configured precision.
         """
-        with obs.span("predict_grid", plans=len(plans),
-                      profiles=len(profiles)):
+        factored = bool(self.config.factor_grids and fast and plans and profiles)
+        annotations = {"plans": len(plans), "profiles": len(profiles)}
+        if factored:
+            annotations["factored"] = True
+        with obs.span("predict_grid", **annotations):
             obs.inc("predict.grids_total",
                     help="CostPredictor grid prediction calls")
+            if factored:
+                return self._predict_grid_factored(plans, profiles)
             pairs = [(plan, profile) for profile in profiles for plan in plans]
             costs = self.predict_many(pairs, fast=fast)
             return costs.reshape(len(profiles), len(plans))
+
+    def _predict_grid_factored(self, plans: list[PhysicalPlan],
+                               profiles: list[ResourceProfile]) -> np.ndarray:
+        start = self.trainer.clock()
+        # One encode per plan; the attached resource vector is a
+        # placeholder — the factored kernel takes the profile matrix
+        # separately.
+        encoded = self.encoder.encode_many([(p, profiles[0]) for p in plans])
+        profile_features = np.stack([p.as_features() for p in profiles])
+        log_grid, _ = self.executor.predict_log_grid(encoded, profile_features)
+        costs = self.trainer._seconds_from_log(log_grid.ravel())
+        obs.observe("predict.latency_seconds", self.trainer.clock() - start,
+                    help="End-to-end predict_many latency")
+        return costs.reshape(len(profiles), len(plans))

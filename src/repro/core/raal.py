@@ -183,19 +183,23 @@ class RAAL(Module):
         joined = Tensor.concat(parts, axis=1)
         return self.dense(joined).squeeze(-1)
 
-    def forward_inference(self, batch: RAALBatch) -> np.ndarray:
+    def forward_inference(self, batch: RAALBatch,
+                          weights=None) -> np.ndarray:
         """Graph-free eval-mode forward; returns a ``(B,)`` numpy array.
 
         Numerically equivalent to ``forward`` in eval mode (≤ 1e-8) but
         builds no autograd graph and fuses the LSTM input projections
         into one GEMM — the inference fast path used by
-        :meth:`repro.core.trainer.Trainer.predict_seconds`.
+        :meth:`repro.core.trainer.Trainer.predict_seconds`. ``weights``
+        optionally supplies a precision-tier bundle
+        (:func:`repro.nn.precision.inference_weights`); the default is
+        a float64 view of the live parameters.
         """
         from repro import obs
         from repro.nn.inference import raal_forward_inference
 
         with obs.span("forward_inference", batch=batch.size):
-            return raal_forward_inference(self, batch)
+            return raal_forward_inference(self, batch, weights)
 
     def forward_backward(self, batch: RAALBatch) -> tuple[float, np.ndarray]:
         """Fused training step: graph-free forward + analytic backward.

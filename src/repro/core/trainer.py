@@ -157,6 +157,9 @@ class Trainer:
         #: Count of predictions clamped at ``log_clamp_max`` in the most
         #: recent :meth:`predict_seconds` call (saturation indicator).
         self.last_saturated = 0
+        # Default (f64, single-thread) execution engine, built lazily;
+        # CostPredictor passes its own configured engine instead.
+        self._executor = None
 
     def fit(self, samples: list[TrainingSample]) -> TrainResult:
         """Train the model in place; returns the loss history.
@@ -367,8 +370,16 @@ class Trainer:
             raise TrainingError("cannot evaluate on an empty sample list")
         return self._evaluate_batches(self._collate_bucketed(samples))
 
+    def bucket_executor(self):
+        """The default (f64, single-thread) execution engine."""
+        if self._executor is None:
+            from repro.core.execution import BucketExecutor
+            self._executor = BucketExecutor(
+                self.model, self.config.batch_size)
+        return self._executor
+
     def predict_log(self, encoded: list[EncodedPlan], fast: bool = True,
-                    bucket: bool = True) -> np.ndarray:
+                    bucket: bool = True, executor=None) -> np.ndarray:
         """Log-space predictions for encoded plans.
 
         The entire path runs under :func:`no_grad` — no autograd graph
@@ -381,37 +392,36 @@ class Trainer:
         * ``bucket`` — sort plans by node count before batching, so a
           batch of short plans is not padded to the longest plan in the
           workload. Output order always matches the input order.
+
+        ``executor`` optionally supplies a configured
+        :class:`~repro.core.execution.BucketExecutor` (precision tier,
+        bucket-level threading); the default engine runs float64 on the
+        calling thread and is bit-identical to the pre-engine path.
         """
         if not encoded:
             return np.zeros(0)
+        engine = executor if executor is not None else self.bucket_executor()
         with obs.span("forward", plans=len(encoded), fast=fast,
-                      bucket=bucket) as sp:
+                      bucket=bucket, precision=engine.precision) as sp:
             start = self.clock()
-            self.model.eval()
-            cfg = self.config
-            if bucket:
-                order = np.argsort([e.num_nodes for e in encoded], kind="stable")
-            else:
-                order = np.arange(len(encoded))
-            preds = np.empty(len(encoded))
-            batches = 0
-            with no_grad():
-                for lo in range(0, len(order), cfg.batch_size):
-                    idx = order[lo : lo + cfg.batch_size]
-                    batch = collate([TrainingSample(encoded[i], 0.0) for i in idx])
-                    if fast:
-                        out = self.model.forward_inference(batch)
-                    else:
-                        out = self.model(batch).numpy()
-                    preds[idx] = out
-                    batches += 1
+            preds, batches = engine.predict_log(encoded, fast=fast,
+                                                bucket=bucket)
             sp.annotate(batches=batches)
             obs.observe("predict.forward_seconds", self.clock() - start,
                         help="Model forward latency per predict call")
         return preds
 
+    def _seconds_from_log(self, log_preds: np.ndarray) -> np.ndarray:
+        """Clamp + ``expm1`` with saturation accounting (shared logic)."""
+        hi = self.config.log_clamp_max
+        self.last_saturated = int(np.count_nonzero(log_preds > hi))
+        if self.last_saturated:
+            obs.inc("predict.saturated_total", self.last_saturated,
+                    help="Predictions clamped at log_clamp_max")
+        return np.expm1(np.clip(log_preds, 0.0, hi))
+
     def predict_seconds(self, encoded: list[EncodedPlan], fast: bool = True,
-                        bucket: bool = True) -> np.ndarray:
+                        bucket: bool = True, executor=None) -> np.ndarray:
         """Predicted costs in seconds (inverse of the log transform).
 
         Log-space predictions are clamped to ``[0, log_clamp_max]``
@@ -421,10 +431,6 @@ class Trainer:
         rather than silently hidden (the guarded predictor treats a
         saturated batch as a degradation trigger).
         """
-        log_preds = self.predict_log(encoded, fast=fast, bucket=bucket)
-        hi = self.config.log_clamp_max
-        self.last_saturated = int(np.count_nonzero(log_preds > hi))
-        if self.last_saturated:
-            obs.inc("predict.saturated_total", self.last_saturated,
-                    help="Predictions clamped at log_clamp_max")
-        return np.expm1(np.clip(log_preds, 0.0, hi))
+        log_preds = self.predict_log(encoded, fast=fast, bucket=bucket,
+                                     executor=executor)
+        return self._seconds_from_log(log_preds)

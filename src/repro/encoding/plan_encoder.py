@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -154,6 +155,14 @@ class PlanEncoder:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # The LRU dict and its counters are mutated on every lookup
+        # (move_to_end / popitem), so concurrent predict calls — e.g.
+        # request threads sharing one predictor — must serialize on this
+        # lock; OrderedDict mutation is not atomic under free-threaded
+        # interleavings. RLock because cache_clear() is called from
+        # locked paths (the config setters).
+        self._lock = threading.RLock()
+        self._dtype = np.dtype(np.float64)
         # The switches below go through properties so that flipping one
         # after construction invalidates cached plan-side features.
         self._use_onehot = bool(use_onehot)
@@ -213,6 +222,28 @@ class PlanEncoder:
             self.cache_clear()
 
     @property
+    def dtype(self) -> np.dtype:
+        """Dtype of emitted feature arrays (default float64).
+
+        A serving-memory knob for the reduced-precision inference tiers:
+        switching to float32 halves the cache and per-request encode
+        footprint. Training should keep the float64 default — the
+        analytic backward and its equivalence tolerances assume it.
+        Changing the dtype invalidates the plan-side cache.
+        """
+        return self._dtype
+
+    @dtype.setter
+    def dtype(self, value) -> None:
+        dtype = np.dtype(value)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise EncodingError(
+                f"encoder dtype must be float64 or float32, got {dtype}")
+        if dtype != self._dtype:
+            self._dtype = dtype
+            self.cache_clear()
+
+    @property
     def node_dim(self) -> int:
         """Per-node feature length after concatenation."""
         base = self._onehot.dim if self.use_onehot else self.semantic.dim
@@ -228,45 +259,54 @@ class PlanEncoder:
     # -- cache ---------------------------------------------------------------
     def cache_info(self) -> EncoderCacheInfo:
         """Current hit/miss statistics of the plan-side cache."""
-        return EncoderCacheInfo(hits=self._hits, misses=self._misses,
-                                size=len(self._cache), capacity=self.cache_size,
-                                evictions=self._evictions)
+        with self._lock:
+            return EncoderCacheInfo(hits=self._hits, misses=self._misses,
+                                    size=len(self._cache), capacity=self.cache_size,
+                                    evictions=self._evictions)
 
     def cache_clear(self) -> None:
         """Drop all cached plan-side features and reset the counters."""
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
     def _plan_features(self, plan: PhysicalPlan,
                        fingerprint: str | None = None) -> _PlanFeatures:
-        """Plan-side features, served from the LRU cache when possible."""
+        """Plan-side features, served from the LRU cache when possible.
+
+        Thread-safe: lookup, insertion, and eviction all run under the
+        encoder lock. A miss computes the features inside the lock —
+        simpler than a per-key guard, and it also prevents two threads
+        from redundantly encoding the same plan at the same time.
+        """
         if self.cache_size == 0:
             return self._compute_plan_features(plan)
         key = fingerprint if fingerprint is not None else plan_fingerprint(plan)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._hits += 1
-            obs.inc("encoder.cache.hits")
-            self._cache.move_to_end(key)
-            return cached
-        self._misses += 1
-        obs.inc("encoder.cache.misses")
-        features = self._compute_plan_features(plan)
-        # Cached arrays are shared between EncodedPlan instances; mark
-        # them read-only so an accidental in-place write cannot corrupt
-        # later cache hits.
-        for array in (features.node_features, features.child_mask, features.extras):
-            array.setflags(write=False)
-        self._cache[key] = features
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self._evictions += 1
-            obs.inc("encoder.cache.evictions")
-            obs.emit_event("encoder", "cache_evict",
-                           size=len(self._cache), capacity=self.cache_size)
-        return features
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                obs.inc("encoder.cache.hits")
+                self._cache.move_to_end(key)
+                return cached
+            self._misses += 1
+            obs.inc("encoder.cache.misses")
+            features = self._compute_plan_features(plan)
+            # Cached arrays are shared between EncodedPlan instances; mark
+            # them read-only so an accidental in-place write cannot corrupt
+            # later cache hits.
+            for array in (features.node_features, features.child_mask, features.extras):
+                array.setflags(write=False)
+            self._cache[key] = features
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+                obs.inc("encoder.cache.evictions")
+                obs.emit_event("encoder", "cache_evict",
+                               size=len(self._cache), capacity=self.cache_size)
+            return features
 
     def _compute_plan_features(self, plan: PhysicalPlan) -> _PlanFeatures:
         """Cold (uncached) computation of the plan-side features.
@@ -286,9 +326,9 @@ class PlanEncoder:
             n = plan.num_nodes
             child_mask = ~np.eye(n, dtype=bool)
         return _PlanFeatures(
-            node_features=node_features,
+            node_features=np.ascontiguousarray(node_features, dtype=self._dtype),
             child_mask=child_mask,
-            extras=self._plan_extras(plan),
+            extras=self._plan_extras(plan).astype(self._dtype, copy=False),
         )
 
     # -- encoding ------------------------------------------------------------
@@ -339,7 +379,7 @@ class PlanEncoder:
             return EncodedPlan(
                 node_features=features.node_features,
                 child_mask=features.child_mask,
-                resources=resources.as_features(),
+                resources=np.asarray(resources.as_features(), dtype=self._dtype),
                 extras=features.extras,
             )
 
@@ -364,7 +404,7 @@ class PlanEncoder:
                 out.append(EncodedPlan(
                     node_features=features.node_features,
                     child_mask=features.child_mask,
-                    resources=resources.as_features(),
+                    resources=np.asarray(resources.as_features(), dtype=self._dtype),
                     extras=features.extras,
                 ))
             sp.annotate(cache_hits=self._hits - hits_before)

@@ -6,6 +6,7 @@ the LSTM (:mod:`repro.nn.rnn`), the paper's two attention mechanisms
 (:mod:`repro.nn.attention`), losses, and optimizers.
 """
 
+from repro.nn.arena import ScratchArena, thread_local_arena
 from repro.nn.attention import NodeAwareAttention, ResourceAwareAttention
 from repro.nn.inference import (
     dense_forward,
@@ -13,6 +14,7 @@ from repro.nn.inference import (
     masked_mean_forward,
     node_attention_forward,
     raal_forward_inference,
+    raal_grid_inference,
     resource_attention_forward,
 )
 from repro.nn.layers import (
@@ -28,6 +30,14 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.loss import huber_loss, mae_loss, mse_loss, q_error
+from repro.nn.precision import (
+    PRECISIONS,
+    InferenceWeights,
+    inference_weights,
+    invalidate_inference_cache,
+    resolve_dtype,
+)
+from repro.nn.quantize import QuantizedMatrix, quantize_per_channel
 from repro.nn.optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
 from repro.nn.rnn import LSTM, LSTMCell
 from repro.nn.serialization import load_model, save_model
@@ -70,11 +80,21 @@ __all__ = [
     "save_model",
     "load_model",
     "raal_forward_inference",
+    "raal_grid_inference",
     "fused_lstm_forward",
     "node_attention_forward",
     "resource_attention_forward",
     "masked_mean_forward",
     "dense_forward",
+    "ScratchArena",
+    "thread_local_arena",
+    "InferenceWeights",
+    "inference_weights",
+    "invalidate_inference_cache",
+    "PRECISIONS",
+    "resolve_dtype",
+    "quantize_per_channel",
+    "QuantizedMatrix",
     "raal_forward_backward",
     "fused_lstm_forward_cached",
     "fused_lstm_backward",

@@ -13,6 +13,22 @@ timesteps are computed in a single ``(B·T, D) @ (D, 4H)`` GEMM up
 front, so the per-timestep loop only carries the (irreducibly
 sequential) recurrent ``h @ W_h`` product.
 
+Every kernel is *dtype-generic*: arithmetic runs in the dtype of its
+inputs, so the same code serves the float64 tier (bit-identical to the
+pre-precision path), the float32 tier, and the int8 tier (which
+executes in float32 over dequantized weights — see
+:mod:`repro.nn.precision`). Scratch allocations, mask floats, and the
+masked-softmax logit floor all follow the execution dtype.
+
+The forward is split into a *plan-side* stage (embedding → LSTM/CNN →
+node-aware attention; depends only on the plan) and a *resource-side*
+stage (resource-aware attention → dense head; depends on the resource
+profile too). :func:`raal_forward_inference` runs both for one batch of
+(plan, resources) pairs; :func:`raal_grid_inference` exploits the split
+for grid workloads (``plans × profiles``), computing the plan-side
+stage once per plan instead of once per pair and batching the entire
+resource side into a handful of GEMMs.
+
 Entry point: :func:`raal_forward_inference`, also exposed as
 ``RAAL.forward_inference``.
 """
@@ -23,6 +39,11 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn.layers import Dropout, Linear, ReLU, Sequential
+from repro.nn.precision import (
+    SOFTMAX_FLOORS,
+    InferenceWeights,
+    inference_weights,
+)
 
 __all__ = [
     "fused_lstm_forward",
@@ -30,8 +51,12 @@ __all__ = [
     "resource_attention_forward",
     "masked_mean_forward",
     "dense_forward",
+    "dense_forward_ops",
     "conv1d_forward",
+    "plan_side_forward",
+    "resource_side_forward",
     "raal_forward_inference",
+    "raal_grid_inference",
 ]
 
 _NEG_INF = -1e9
@@ -49,13 +74,20 @@ def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     # Mask bias pushes entries to ~-1e9; exp() of those underflows
     # through libm's slow denormal path, and anything closer to the
     # underflow edge turns into denormals after the division below,
-    # which poisons every downstream multiply. Flooring at -200 keeps
-    # exp fast and every derived value in the normal range while
-    # perturbing masked weights by at most ~1e-87.
-    np.clip(shifted, -200.0, None, out=shifted)
+    # which poisons every downstream multiply. The floor is dtype-aware
+    # (float32 underflows at exp(-87.3), float64 at exp(-745)): each
+    # tier's floor keeps exp fast and every derived value in the normal
+    # range while perturbing masked weights by < 1e-26.
+    floor = SOFTMAX_FLOORS.get(shifted.dtype, -200.0)
+    np.clip(shifted, floor, None, out=shifted)
     np.exp(shifted, out=shifted)
     shifted /= shifted.sum(axis=axis, keepdims=True)
     return shifted
+
+
+def _mask_bias(mask: np.ndarray, dtype) -> np.ndarray:
+    """0 where ``mask``, a large negative logit elsewhere, in ``dtype``."""
+    return np.where(mask, 0.0, _NEG_INF).astype(dtype, copy=False)
 
 
 def fused_lstm_forward(
@@ -87,7 +119,7 @@ def fused_lstm_forward(
     # Single implementation with the training fast path: the cached
     # time-major kernel is faster than a per-gate loop even counting the
     # activation slabs it records (lazy import: training imports from
-    # this module).
+    # this module). Arithmetic runs in the dtype of ``x``/``w_x``.
     from repro.nn.training import fused_lstm_forward_cached
 
     outputs, _ = fused_lstm_forward_cached(x, w_x, w_h, bias, mask=mask)
@@ -109,10 +141,12 @@ def node_attention_forward(
     queries = hidden @ w_query
     keys = hidden @ w_key
     scores = queries @ keys.transpose(0, 2, 1)
-    scores = scores * (1.0 / np.sqrt(latent_dim))
-    bias = np.where(child_mask, 0.0, _NEG_INF)
+    # float(sqrt): a Python-float scale keeps float32 arrays float32
+    # under NEP 50 (a numpy float64 scalar would silently upcast).
+    scores = scores * (1.0 / float(np.sqrt(latent_dim)))
+    bias = _mask_bias(child_mask, scores.dtype)
     attn = _softmax(scores + bias, axis=-1)
-    has_children = child_mask.any(axis=-1, keepdims=True).astype(np.float64)
+    has_children = child_mask.any(axis=-1, keepdims=True).astype(hidden.dtype)
     attn = attn * has_children
     context = attn @ hidden + hidden * (1.0 - has_children)
     return masked_mean_forward(context, node_mask)
@@ -133,15 +167,17 @@ def resource_attention_forward(
     query = resources @ w_resource                      # (batch, K)
     keys = hidden @ w_key                               # (batch, n, K)
     scores = (keys @ query[:, :, None]).squeeze(2)      # (batch, n)
-    scores = scores * (1.0 / np.sqrt(latent_dim))
-    bias = np.where(node_mask, 0.0, _NEG_INF)
+    # float(sqrt): a Python-float scale keeps float32 arrays float32
+    # under NEP 50 (a numpy float64 scalar would silently upcast).
+    scores = scores * (1.0 / float(np.sqrt(latent_dim)))
+    bias = _mask_bias(node_mask, scores.dtype)
     attn = _softmax(scores + bias, axis=-1)
     return (hidden * attn[:, :, None]).sum(axis=1)
 
 
 def masked_mean_forward(x: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Numpy twin of :func:`repro.nn.functional.masked_mean`."""
-    weights = mask.astype(np.float64)
+    weights = mask.astype(x.dtype)
     denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
     return (x * weights[:, :, None]).sum(axis=1) * (1.0 / denom)
 
@@ -163,6 +199,24 @@ def dense_forward(dense: Sequential, x: np.ndarray) -> np.ndarray:
     return x
 
 
+def dense_forward_ops(ops: list[tuple], x: np.ndarray) -> np.ndarray:
+    """Forward through a precompiled dense op list (see InferenceWeights).
+
+    Same arithmetic and operation order as :func:`dense_forward`, but
+    over ``("linear", w, b)`` / ``("relu",)`` tuples instead of Module
+    objects — no isinstance dispatch on the hot path, and the weights
+    are already in the execution dtype.
+    """
+    for op in ops:
+        if op[0] == "linear":
+            x = x @ op[1]
+            if op[2] is not None:
+                x = x + op[2]
+        else:  # relu
+            x = x * (x > 0)
+    return x
+
+
 def conv1d_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
                    kernel_size: int) -> np.ndarray:
     """Numpy twin of :class:`repro.nn.layers.Conv1d` (im2col, stride 1)."""
@@ -170,17 +224,85 @@ def conv1d_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
     if seq < kernel_size:
         raise ShapeError(f"sequence length {seq} shorter than kernel {kernel_size}")
     seq_out = seq - kernel_size + 1
-    cols = np.empty((batch, seq_out, kernel_size * channels))
+    cols = np.empty((batch, seq_out, kernel_size * channels), dtype=x.dtype)
     for t in range(seq_out):
         cols[:, t, :] = x[:, t : t + kernel_size, :].reshape(batch, kernel_size * channels)
     return cols @ weight + bias
 
 
-def raal_forward_inference(model, batch) -> np.ndarray:
+# ---------------------------------------------------------------------------
+# Staged forward
+# ---------------------------------------------------------------------------
+
+def plan_side_forward(
+    weights: InferenceWeights,
+    node_features: np.ndarray,
+    child_mask: np.ndarray,
+    node_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Everything that depends only on the plan: ``(hidden, plan_vec)``.
+
+    ``node_features`` must already be in the execution dtype. Returns
+    the feature-layer hidden states ``(B, N, H)`` and the node-attention
+    (or masked-mean) pooled plan vector ``(B, H)``.
+    """
+    emb = node_features @ weights.embedding_w
+    if weights.embedding_b is not None:
+        emb = emb + weights.embedding_b
+    emb = np.tanh(emb)
+
+    if weights.lstm is not None:
+        w_x, w_h, bias = weights.lstm
+        hidden = fused_lstm_forward(emb, w_x, w_h, bias, mask=node_mask)
+    else:
+        cnn_w, cnn_b, kernel = weights.cnn
+        pad_len = kernel - 1
+        if pad_len:
+            batch_size, _, dim = emb.shape
+            emb = np.concatenate(
+                [np.zeros((batch_size, pad_len, dim), dtype=emb.dtype), emb],
+                axis=1)
+        out = conv1d_forward(emb, cnn_w, cnn_b, kernel)
+        hidden = out * (out > 0)
+
+    if weights.node_attention is not None:
+        w_query, w_key = weights.node_attention
+        plan_vec = node_attention_forward(
+            hidden, w_query, w_key, child_mask, node_mask, weights.latent_dim)
+    else:
+        plan_vec = masked_mean_forward(hidden, node_mask)
+    return hidden, plan_vec
+
+
+def resource_side_forward(
+    weights: InferenceWeights,
+    hidden: np.ndarray,
+    plan_vec: np.ndarray,
+    resources: np.ndarray | None,
+    extras: np.ndarray,
+    node_mask: np.ndarray,
+) -> np.ndarray:
+    """Resource attention + dense head for one batch of pairs: ``(B,)``."""
+    parts = [plan_vec]
+    if weights.resource_attention is not None:
+        w_resource, w_key = weights.resource_attention
+        parts.append(resource_attention_forward(
+            hidden, resources, w_resource, w_key, node_mask,
+            weights.latent_dim))
+        parts.append(resources)
+    parts.append(extras)
+    joined = np.concatenate(parts, axis=1)
+    return dense_forward_ops(weights.dense, joined).squeeze(-1)
+
+
+def raal_forward_inference(model, batch,
+                           weights: InferenceWeights | None = None) -> np.ndarray:
     """Graph-free eval-mode forward of a RAAL-family model.
 
     Numerically equivalent (≤ 1e-8) to ``model(batch)`` in eval mode,
     but builds no autograd graph and fuses the LSTM input projections.
+    With the default float64 weights the result is bit-identical to the
+    pre-precision fast path.
 
     Parameters
     ----------
@@ -188,54 +310,109 @@ def raal_forward_inference(model, batch) -> np.ndarray:
         A :class:`repro.core.raal.RAAL` instance (any ablation variant).
     batch:
         A :class:`repro.core.raal.RAALBatch`.
+    weights:
+        Optional precision-tier weight bundle
+        (:func:`repro.nn.precision.inference_weights`); defaults to a
+        zero-copy float64 view of the model's parameters.
 
     Returns
     -------
     np.ndarray
         Predicted (log-)costs, shape ``(batch,)``.
     """
-    config = model.config
-    node_features = np.asarray(batch.node_features, dtype=np.float64)
-    if node_features.shape[2] != config.node_dim:
+    if weights is None:
+        weights = inference_weights(model, "f64")
+    node_features = np.asarray(batch.node_features, dtype=weights.dtype)
+    if node_features.shape[2] != weights.node_dim:
         raise ShapeError(
             f"batch node_dim {node_features.shape[2]} != "
-            f"model node_dim {config.node_dim}")
+            f"model node_dim {weights.node_dim}")
+    hidden, plan_vec = plan_side_forward(
+        weights, node_features, batch.child_mask, batch.node_mask)
+    resources = None
+    if weights.resource_attention is not None:
+        resources = np.asarray(batch.resources, dtype=weights.dtype)
+    extras = np.asarray(batch.extras, dtype=weights.dtype)
+    return resource_side_forward(
+        weights, hidden, plan_vec, resources, extras, batch.node_mask)
 
-    emb = node_features @ model.embedding.weight.data
-    if model.embedding.bias is not None:
-        emb = emb + model.embedding.bias.data
-    emb = np.tanh(emb)
 
-    if model.plan_feature is not None:
-        cell = model.plan_feature.cell
-        hidden = fused_lstm_forward(
-            emb, cell.w_x.data, cell.w_h.data, cell.bias.data,
-            mask=batch.node_mask)
-    else:
-        pad_len = config.cnn_kernel - 1
-        if pad_len:
-            batch_size, _, dim = emb.shape
-            emb = np.concatenate([np.zeros((batch_size, pad_len, dim)), emb], axis=1)
-        out = conv1d_forward(emb, model.cnn.weight.data, model.cnn.bias.data,
-                             config.cnn_kernel)
-        hidden = out * (out > 0)
+def raal_grid_inference(
+    weights: InferenceWeights,
+    node_features: np.ndarray,
+    child_mask: np.ndarray,
+    node_mask: np.ndarray,
+    extras: np.ndarray,
+    profile_features: np.ndarray,
+) -> np.ndarray:
+    """Factored grid forward: every plan under every resource profile.
 
-    if model.node_attention is not None:
-        plan_vec = node_attention_forward(
-            hidden, model.node_attention.w_query.data,
-            model.node_attention.w_key.data,
-            batch.child_mask, batch.node_mask, config.latent_dim)
-    else:
-        plan_vec = masked_mean_forward(hidden, batch.node_mask)
+    The grid workload (plan selection, resource recommendation) scores
+    ``B`` plans × ``P`` profiles. The pairwise path re-runs the whole
+    network per pair — including the LSTM and node attention, which do
+    not depend on the profile at all. This kernel runs the plan-side
+    stage once per plan, then evaluates the entire resource side for
+    all ``B × P`` combinations in a handful of flat GEMMs:
 
-    parts = [plan_vec]
-    if model.resource_attention is not None:
-        resources = np.asarray(batch.resources, dtype=np.float64)
-        parts.append(resource_attention_forward(
-            hidden, resources, model.resource_attention.w_resource.data,
-            model.resource_attention.w_key.data,
-            batch.node_mask, config.latent_dim))
-        parts.append(resources)
-    parts.append(np.asarray(batch.extras, dtype=np.float64))
-    joined = np.concatenate(parts, axis=1)
-    return dense_forward(model.dense, joined).squeeze(-1)
+    * attention keys ``(B·N, H) @ (H, K)`` — once per plan;
+    * attention scores ``(B·N, K) @ (K, P)`` — all pairs at once;
+    * one masked softmax over ``(B, N, P)``;
+    * context ``(B, P, N) @ (B, N, H)`` batched matmul;
+    * one dense-head GEMM over all ``B·P`` joined rows.
+
+    Numerically equivalent to the pairwise path to float-rounding (the
+    GEMM groupings differ, so results are *not* bit-identical — see the
+    precision equivalence tests for the per-tier tolerances).
+
+    Parameters
+    ----------
+    weights:
+        Precision-tier weight bundle.
+    node_features / child_mask / node_mask / extras:
+        One collated batch of ``B`` **distinct plans** (not pairs):
+        ``(B, N, D)``, ``(B, N, N)``, ``(B, N)``, ``(B, E)``.
+    profile_features:
+        ``(P, R)`` normalized resource vectors.
+
+    Returns
+    -------
+    np.ndarray
+        Log-cost matrix ``(P, B)`` — profile-major, matching
+        ``CostPredictor.predict_grid``'s output layout.
+    """
+    node_features = np.asarray(node_features, dtype=weights.dtype)
+    extras = np.asarray(extras, dtype=weights.dtype)
+    profiles = np.asarray(profile_features, dtype=weights.dtype)
+    n_plans = node_features.shape[0]
+    n_profiles = profiles.shape[0]
+    hidden, plan_vec = plan_side_forward(
+        weights, node_features, child_mask, node_mask)
+    hs = hidden.shape[-1]
+
+    if weights.resource_attention is None:
+        # Resource-blind ablation: every profile sees the same answer.
+        joined = np.concatenate([plan_vec, extras], axis=1)
+        row = dense_forward_ops(weights.dense, joined).squeeze(-1)  # (B,)
+        return np.broadcast_to(row, (n_profiles, n_plans)).copy()
+
+    w_resource, w_key = weights.resource_attention
+    batch, n, _ = hidden.shape
+    queries = profiles @ w_resource                                  # (P, K)
+    keys = hidden.reshape(batch * n, hs) @ w_key                     # (B·N, K)
+    scores = (keys @ queries.T).reshape(batch, n, n_profiles)        # (B, N, P)
+    scores *= 1.0 / float(np.sqrt(weights.latent_dim))
+    scores += _mask_bias(node_mask, scores.dtype)[:, :, None]
+    attn = _softmax(scores, axis=1)                                  # (B, N, P)
+    # res_vec[b, p, :] = sum_n hidden[b, n, :] * attn[b, n, p]
+    res_vec = np.matmul(attn.transpose(0, 2, 1), hidden)             # (B, P, H)
+
+    joined_dim = 2 * hs + profiles.shape[1] + extras.shape[1]
+    joined = np.empty((n_profiles, n_plans, joined_dim), dtype=weights.dtype)
+    joined[:, :, :hs] = plan_vec
+    joined[:, :, hs : 2 * hs] = res_vec.transpose(1, 0, 2)
+    off = 2 * hs
+    joined[:, :, off : off + profiles.shape[1]] = profiles[:, None, :]
+    joined[:, :, off + profiles.shape[1] :] = extras
+    out = dense_forward_ops(
+        weights.dense, joined.reshape(n_profiles * n_plans, joined_dim))
+    return out.reshape(n_profiles, n_plans)

@@ -1,0 +1,94 @@
+"""Per-channel int8 weight quantization for the inference path.
+
+The int8 precision tier stores every GEMM weight matrix as one signed
+byte per element plus one float32 scale per *output channel* (symmetric
+quantization, no zero point):
+
+    q[:, j] = round(w[:, j] / scale[j]),   scale[j] = max|w[:, j]| / 127
+
+Per-channel scales matter because the RAAL weight matrices concatenate
+heterogeneous blocks (the LSTM packs four gates into one ``(D, 4H)``
+matrix; the dense head mixes plan, resource, and statistical inputs) —
+one tensor-wide scale would let the largest gate dominate the
+resolution of all the others.
+
+numpy has no int8 GEMM, so execution *dequantizes on load*: the int8
+payload expands back to float32 once per model version (cached by
+:mod:`repro.nn.precision`) and the GEMMs run in float32. The byte
+tensors are what a serving deployment ships and holds in memory — 4×
+smaller than float32, 8× smaller than float64 — while the arithmetic
+error is exactly the quantization rounding, which
+:func:`quantization_error` reports per matrix and the precision tests
+bound end to end (the documented q-error budget, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "QuantizedMatrix",
+    "quantize_per_channel",
+    "quantization_error",
+]
+
+#: Symmetric signed-byte range: q in [-127, 127] (−128 is unused so the
+#: range stays symmetric and |dequantized| <= max|w| exactly).
+QMAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizedMatrix:
+    """An int8-quantized 2-D weight with per-output-channel scales."""
+
+    q: np.ndarray       # (in, out) int8
+    scale: np.ndarray   # (out,) float32, always > 0
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized payload size (bytes + scales)."""
+        return self.q.nbytes + self.scale.nbytes
+
+    def dequantize(self, dtype=np.float32) -> np.ndarray:
+        """Expand back to floating point: ``q * scale`` per column."""
+        return (self.q.astype(dtype) * self.scale.astype(dtype)).astype(
+            dtype, copy=False)
+
+
+def quantize_per_channel(w: np.ndarray) -> QuantizedMatrix:
+    """Quantize a 2-D weight matrix to int8, one scale per column.
+
+    Columns are output channels for every GEMM in this codebase (weights
+    are shaped ``(in, out)`` and applied as ``x @ w``). All-zero columns
+    get scale 1.0 so dequantization is exact for them.
+    """
+    w = np.asarray(w)
+    if w.ndim != 2:
+        raise ShapeError(
+            f"per-channel quantization expects a 2-D matrix, got {w.shape}")
+    absmax = np.abs(w).max(axis=0)
+    scale = np.where(absmax > 0.0, absmax / QMAX, 1.0).astype(np.float32)
+    q = np.clip(np.rint(w / scale.astype(np.float64)), -QMAX, QMAX)
+    return QuantizedMatrix(q=q.astype(np.int8), scale=scale)
+
+
+def quantization_error(w: np.ndarray, quantized: QuantizedMatrix) -> dict[str, float]:
+    """Rounding-error summary of one quantized matrix vs its source.
+
+    ``max_abs`` is the worst absolute weight error, ``max_rel`` the
+    worst error relative to the column's absmax (bounded by
+    ``0.5 / 127`` ≈ 0.4% by construction), ``rms`` the root-mean-square
+    absolute error.
+    """
+    deq = quantized.dequantize(np.float64)
+    err = np.abs(deq - w)
+    col_ref = np.maximum(np.abs(w).max(axis=0), 1e-30)
+    return {
+        "max_abs": float(err.max()) if err.size else 0.0,
+        "max_rel": float((err / col_ref).max()) if err.size else 0.0,
+        "rms": float(np.sqrt(np.mean(err * err))) if err.size else 0.0,
+    }

@@ -111,17 +111,20 @@ def fused_lstm_forward_cached(
     x_t = np.ascontiguousarray(x.transpose(1, 0, 2))
     acts = (x_t.reshape(seq * batch, input_size) @ w_x).reshape(seq, batch, 4 * hs)
     acts += bias
-    h = np.zeros((batch, hs))
-    c = np.zeros((batch, hs))
-    outputs = np.empty((seq, batch, hs))
-    tanh_c = np.empty((seq, batch, hs))
-    c_states = np.empty((seq, batch, hs))
+    # Scratch follows the execution dtype (float64 for training, float32
+    # for the reduced-precision inference tiers).
+    dtype = acts.dtype
+    h = np.zeros((batch, hs), dtype=dtype)
+    c = np.zeros((batch, hs), dtype=dtype)
+    outputs = np.empty((seq, batch, hs), dtype=dtype)
+    tanh_c = np.empty((seq, batch, hs), dtype=dtype)
+    c_states = np.empty((seq, batch, hs), dtype=dtype)
     mf = col_real = None
     if mask is not None:
-        mf = np.ascontiguousarray(mask.T.astype(np.float64))[:, :, None]
+        mf = np.ascontiguousarray(mask.T.astype(dtype))[:, :, None]
         col_real = mask.all(axis=0)
-    gemm = np.empty((batch, 4 * hs))
-    g = np.empty((batch, hs))
+    gemm = np.empty((batch, 4 * hs), dtype=dtype)
+    g = np.empty((batch, hs), dtype=dtype)
     for t in range(seq):
         gates = acts[t]
         np.matmul(h, w_h, out=gemm)

@@ -171,6 +171,40 @@ class Histogram:
         """Mean of the observed samples (0.0 before any sample)."""
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (Prometheus-style interpolation).
+
+        Locates the bucket holding the ``q``-th sample and interpolates
+        linearly inside it, clamped to the observed ``[min, max]`` so
+        coarse buckets cannot report values outside the data (and the
+        +Inf overflow bucket degrades to the observed max). Estimation
+        error is bounded by the bucket width; the latency harness
+        additionally reports exact percentiles from raw samples.
+        Raises :class:`TelemetryError` before any sample.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._count:
+                raise TelemetryError(
+                    f"histogram {self.name} has no samples to quantile")
+            rank = q * self._count
+            cumulative = 0
+            for i, n in enumerate(self._counts):
+                if not n:
+                    continue
+                if cumulative + n >= rank:
+                    if i == len(self.buckets):
+                        # Overflow bucket: no finite upper bound to
+                        # interpolate against — report the observed max.
+                        return self._max
+                    lo = 0.0 if i == 0 else self.buckets[i - 1]
+                    fraction = (rank - cumulative) / n
+                    value = lo + (self.buckets[i] - lo) * fraction
+                    return min(max(value, self._min), self._max)
+                cumulative += n
+            return self._max
+
     def snapshot(self) -> dict:
         """JSON-ready state: bounds, per-bucket counts, and summary stats."""
         with self._lock:

@@ -342,7 +342,9 @@ class GuardedCostPredictor:
             raise PredictionError(
                 f"non-finite encoded features for {len(bad)} of "
                 f"{len(encoded)} samples (first at index {bad[0]})")
-        costs = self.predictor.trainer.predict_seconds(encoded, fast=fast)
+        # Route through the predictor's configured engine so the
+        # precision tier and bucket threading apply under the guard too.
+        costs = self.predictor.predict_encoded(encoded, fast=fast)
         if not np.all(np.isfinite(costs)):
             raise PredictionError("model produced non-finite costs")
         saturated = getattr(self.predictor.trainer, "last_saturated", 0)

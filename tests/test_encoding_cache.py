@@ -193,3 +193,77 @@ class TestEncodeManyDedup:
             single = encoder.encode(plan, prof)
             np.testing.assert_array_equal(single.node_features, enc.node_features)
             np.testing.assert_array_equal(single.resources, enc.resources)
+
+
+class TestConcurrentAccess:
+    """The LRU must stay consistent under concurrent bucket workers."""
+
+    def test_concurrent_hits_and_evictions(self, plans):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        # capacity 2 with >2 distinct plans: every thread forces misses,
+        # hits, move_to_end reorderings, and evictions concurrently.
+        encoder = PlanEncoder.fit(
+            plans, word2vec_config=Word2VecConfig(dim=12, epochs=2),
+            cache_size=2)
+        barrier = threading.Barrier(6)
+        rounds = 30
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(rounds):
+                encoder.encode(plans[int(rng.integers(0, len(plans)))],
+                               PAPER_CLUSTER)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for future in [pool.submit(worker, s) for s in range(6)]:
+                future.result()
+
+        info = encoder.cache_info()
+        # Counter conservation: every lookup is exactly a hit or a miss,
+        # every miss either evicted something or grew the cache.
+        assert info.hits + info.misses == 6 * rounds
+        assert info.size <= info.capacity == 2
+        assert info.evictions == info.misses - info.size
+        assert info.hits > 0 and info.misses > 0 and info.evictions > 0
+
+    def test_concurrent_results_identical(self, plans):
+        from concurrent.futures import ThreadPoolExecutor
+
+        encoder = PlanEncoder.fit(
+            plans, word2vec_config=Word2VecConfig(dim=12, epochs=2),
+            cache_size=2)
+        reference = [encoder.encode(p, PAPER_CLUSTER).node_features.copy()
+                     for p in plans]
+
+        def worker(_):
+            return [encoder.encode(p, PAPER_CLUSTER).node_features
+                    for p in plans]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for out in pool.map(worker, range(8)):
+                for got, want in zip(out, reference):
+                    np.testing.assert_array_equal(got, want)
+
+
+class TestEncoderDtype:
+    def test_default_is_float64(self, encoder, plans):
+        enc = encoder.encode(plans[0], PAPER_CLUSTER)
+        assert enc.node_features.dtype == np.float64
+        assert enc.resources.dtype == np.float64
+
+    def test_float32_mode_halves_footprint_and_clears_cache(self, encoder, plans):
+        encoder.encode(plans[0], PAPER_CLUSTER)
+        assert encoder.cache_info().size == 1
+        encoder.dtype = np.float32
+        assert encoder.cache_info().size == 0   # stale f64 entries dropped
+        enc = encoder.encode(plans[0], PAPER_CLUSTER)
+        assert enc.node_features.dtype == np.float32
+        assert enc.resources.dtype == np.float32
+        assert enc.extras.dtype == np.float32
+
+    def test_rejects_non_float_dtype(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.dtype = np.int32

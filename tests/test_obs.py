@@ -117,6 +117,54 @@ class TestHistogram:
         h.observe(4.0)
         assert h.mean == 3.0
 
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("q", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 1.7, 3.0):
+            h.observe(v)
+        # p50: rank 2.5 of 5 -> second sample inside (1, 2]; linear
+        # interpolation inside that bucket.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        # p0 / p100 clamp to the observed extremes, not bucket edges.
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 3.0
+
+    def test_quantile_overflow_bucket_uses_observed_max(self):
+        h = Histogram("q", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(50.0)   # +Inf bucket
+        # The overflow bucket has no finite upper bound; the estimate
+        # degrades to the observed max instead of fabricating a value.
+        assert h.quantile(0.99) == 50.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("q", buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(3.0)
+        # Both samples share the coarse (0, 10] bucket; interpolation
+        # alone would report up to 10, clamping bounds it by the data.
+        for q in (0.1, 0.5, 0.9):
+            assert 2.0 <= h.quantile(q) <= 3.0
+
+    def test_quantile_errors(self):
+        h = Histogram("q", buckets=(1.0,))
+        with pytest.raises(TelemetryError):
+            h.quantile(0.5)       # no samples
+        h.observe(0.5)
+        with pytest.raises(TelemetryError):
+            h.quantile(1.5)       # out of [0, 1]
+
+    def test_quantile_matches_exact_on_fine_buckets(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0.0, 1.0, size=2000)
+        h = Histogram("q", buckets=tuple(np.linspace(0.01, 1.0, 100)))
+        for v in samples:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            assert h.quantile(q) == pytest.approx(exact, abs=0.02)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
