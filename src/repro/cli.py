@@ -89,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--threads", type=int, default=1,
         help="bucket-parallel inference threads (0 = one per CPU core)")
+    predict.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-prediction latency budget; past it the learned model "
+             "is abandoned and the analytic GPSJ estimate is served")
 
     doctor = sub.add_parser(
         "doctor", help="validate a persisted predictor checkpoint")
@@ -192,8 +196,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         disk_throughput_mbps=resources.disk_throughput_mbps)
 
     # Guarded prediction: a bad checkpoint or unseen operator degrades
-    # to the analytic GPSJ estimate instead of crashing plan selection.
-    guarded = GuardedCostPredictor(predictor, gpsj=GPSJCostModel(catalog))
+    # to the analytic GPSJ estimate instead of crashing plan selection;
+    # --deadline-ms bounds the learned stage the same way.
+    guarded = GuardedCostPredictor(predictor, gpsj=GPSJCostModel(catalog),
+                                   default_deadline_ms=args.deadline_ms)
     query = analyze(parse_sql(args.sql), catalog)
     selector = PlanSelector(guarded, catalog)
     result = selector.select(query, resources)
@@ -244,6 +250,29 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         return 1
     print(f"telemetry self-check OK (span tree '{root.name}' with "
           f"encode/forward stages, {len(telemetry.registry)} metrics)")
+    # Overload-resilience posture: run the same prediction through a
+    # fully-armed guard (deadline + admission + ladder + canary) and
+    # report the resulting health state. A healthy checkpoint must
+    # serve from the learned stage at the top ladder rung.
+    from repro.reliability import (AccuracyCanary, AdmissionController,
+                                   DegradationLadder, GuardedCostPredictor)
+
+    guarded = GuardedCostPredictor(
+        predictor, admission=AdmissionController(),
+        ladder=DegradationLadder(), canary=AccuracyCanary(),
+        default_deadline_ms=1000.0)
+    explained = guarded.predict_explained(plans[0], PAPER_CLUSTER)
+    health = guarded.health_state()
+    admission = health.get("admission", {})
+    print(f"health state: ladder={health['ladder']} "
+          f"precision={health['precision']} "
+          f"breakers={health['breakers']} "
+          f"shed={admission.get('shed_queue_full', 0) + admission.get('shed_wait_timeout', 0)}")
+    if explained.source != "raal" or health["ladder"] != "healthy":
+        print(f"health self-check FAILED: served from '{explained.source}' "
+              f"({explained.reason})")
+        return 1
+    print("health self-check OK (served by the learned stage, ladder healthy)")
     return 0
 
 

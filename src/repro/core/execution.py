@@ -24,6 +24,17 @@ inline in :meth:`Trainer.predict_log`:
   ``plans × profiles`` grid through
   :func:`~repro.nn.inference.raal_grid_inference`, running the
   plan-side network once per *plan* instead of once per *pair*.
+* **Deadlines** — both predict paths accept a
+  :class:`~repro.reliability.deadline.Deadline`. The serial path
+  checks it cooperatively before every bucket; the threaded path adds
+  a watchdog wait over the bucket futures that abandons late work
+  (queued buckets are cancelled, running buckets finish into the
+  abandoned output array) and raises the typed
+  :class:`~repro.errors.DeadlineExceeded` promptly. A hung worker can
+  therefore never block the caller past its budget.
+* **Prompt error propagation** — a fault in any bucket worker cancels
+  every not-yet-started bucket and re-raises on the caller's thread
+  immediately; the pool itself stays healthy for subsequent requests.
 
 The autograd fallback (``fast=False``) stays float64-only: it exists to
 cross-check the fused kernels against the training graph, which is a
@@ -33,12 +44,13 @@ float64 artifact.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 import numpy as np
 
+from repro import obs
 from repro.core.raal import RAALBatch
-from repro.errors import PredictionError
+from repro.errors import DeadlineExceeded, PredictionError
 from repro.nn.arena import ScratchArena, thread_local_arena
 from repro.nn.precision import (
     DEFAULT_PRECISION,
@@ -139,10 +151,17 @@ class BucketExecutor:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the worker pool (idempotent, safe to call twice).
+
+        Queued-but-unstarted work is cancelled so an executor poisoned
+        by abandoned (deadline-expired) buckets still closes promptly;
+        buckets already running are allowed to finish. A closed
+        executor remains usable — the next predict call lazily builds a
+        fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "BucketExecutor":
         return self
@@ -160,14 +179,67 @@ class BucketExecutor:
             return np.argsort(lengths, kind="stable")
         return np.arange(len(lengths))
 
+    def _run_buckets(self, slices: list[np.ndarray], run, parallel: bool,
+                     deadline) -> None:
+        """Execute ``run`` over every bucket, honouring the deadline.
+
+        Serial path: cooperative — the deadline is checked before each
+        bucket (``run`` itself re-checks at bucket start, so the
+        threaded workers share the same guard).
+
+        Threaded path: the buckets are submitted to the pool and the
+        caller becomes a *watchdog*: it waits on the futures with the
+        deadline's remaining budget as timeout. On expiry, queued
+        buckets are cancelled, running ones are abandoned (they finish
+        writing into the output array nobody will read — disjoint
+        slices, so this is safe), and :class:`DeadlineExceeded` is
+        raised promptly. On a worker fault, pending buckets are
+        cancelled and the fault re-raises immediately — the pool is
+        never poisoned and the caller never deadlocks on its siblings.
+        """
+        if not parallel:
+            for idx in slices:
+                if deadline is not None:
+                    deadline.check("between buckets")
+                run(idx)
+            if deadline is not None:
+                deadline.check("after final bucket")
+            return
+        pool = self._ensure_pool()
+        pending = set(pool.submit(run, idx) for idx in slices)
+        try:
+            while pending:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(deadline.remaining(), 0.0)
+                done, pending = wait(pending, timeout=timeout,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    exc = future.exception()
+                    if exc is not None:
+                        raise exc
+                if deadline is not None and pending and deadline.expired():
+                    raise DeadlineExceeded(
+                        f"{len(pending)} of {len(slices)} buckets abandoned "
+                        f"past the deadline "
+                        f"(overrun {-deadline.remaining() * 1e3:.1f}ms)")
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        if deadline is not None:
+            deadline.check("after final bucket")
+
     def predict_log(self, encoded: list, fast: bool = True,
-                    bucket: bool = True) -> tuple[np.ndarray, int]:
+                    bucket: bool = True, deadline=None) -> tuple[np.ndarray, int]:
         """Log-space predictions for encoded plans.
 
         Returns ``(predictions, n_batches)`` with predictions in input
         order. ``fast=False`` forces the Tensor/autograd forward
         (float64 tier only — it cross-checks against the training
-        graph, which is a float64 artifact).
+        graph, which is a float64 artifact). ``deadline`` bounds the
+        call: expiry raises :class:`~repro.errors.DeadlineExceeded`
+        instead of returning a late answer.
         """
         if not encoded:
             return np.zeros(0), 0
@@ -175,6 +247,8 @@ class BucketExecutor:
             raise PredictionError(
                 f"the autograd fallback (fast=False) only supports the f64 "
                 f"tier, not {self.precision!r}")
+        if deadline is not None:
+            deadline.check("before predict")
         self.model.eval()
         weights = self.weights() if fast else None
         order = self._bucket_order([e.num_nodes for e in encoded], bucket)
@@ -183,6 +257,8 @@ class BucketExecutor:
                   for lo in range(0, len(order), self.batch_size)]
 
         def run(idx: np.ndarray) -> None:
+            if deadline is not None:
+                deadline.check("at bucket start")
             batch = collate_inference(
                 [encoded[i] for i in idx],
                 weights.dtype if weights is not None else np.float64,
@@ -195,17 +271,25 @@ class BucketExecutor:
             # Disjoint index sets per bucket: concurrent writes are safe.
             preds[idx] = out
 
-        if self.threads > 1 and len(slices) > 1 and fast:
-            pool = self._ensure_pool()
-            for future in [pool.submit(run, idx) for idx in slices]:
-                future.result()
-        else:
-            for idx in slices:
-                run(idx)
+        try:
+            # A deadline forces the watchdog even for a single bucket:
+            # the serial path can only cancel *between* buckets, so a
+            # lone hung bucket would overrun the budget by its full
+            # runtime instead of being abandoned at expiry.
+            self._run_buckets(
+                slices, run,
+                parallel=(self.threads > 1 and fast
+                          and (len(slices) > 1 or deadline is not None)),
+                deadline=deadline)
+        except DeadlineExceeded:
+            obs.inc("predict.deadline_exceeded_total",
+                    help="Predict calls abandoned past their deadline")
+            raise
         return preds, len(slices)
 
     def predict_log_grid(self, encoded_plans: list,
-                         profile_features: np.ndarray) -> tuple[np.ndarray, int]:
+                         profile_features: np.ndarray,
+                         deadline=None) -> tuple[np.ndarray, int]:
         """Factored log-space grid: ``(profiles, plans)`` predictions.
 
         ``encoded_plans`` holds each distinct plan **once** (any
@@ -219,6 +303,8 @@ class BucketExecutor:
         n_profiles = profile_features.shape[0]
         if not encoded_plans:
             return np.zeros((n_profiles, 0)), 0
+        if deadline is not None:
+            deadline.check("before grid predict")
         self.model.eval()
         weights = self.weights()
         order = self._bucket_order([e.num_nodes for e in encoded_plans], True)
@@ -228,6 +314,8 @@ class BucketExecutor:
                   for lo in range(0, len(order), self.batch_size)]
 
         def run(idx: np.ndarray) -> None:
+            if deadline is not None:
+                deadline.check("at bucket start")
             batch = collate_inference(
                 [encoded_plans[i] for i in idx], weights.dtype,
                 arena=thread_local_arena())
@@ -237,11 +325,14 @@ class BucketExecutor:
                     batch.node_mask, batch.extras, profiles)
             out[:, idx] = grid
 
-        if self.threads > 1 and len(slices) > 1:
-            pool = self._ensure_pool()
-            for future in [pool.submit(run, idx) for idx in slices]:
-                future.result()
-        else:
-            for idx in slices:
-                run(idx)
+        try:
+            self._run_buckets(
+                slices, run,
+                parallel=(self.threads > 1
+                          and (len(slices) > 1 or deadline is not None)),
+                deadline=deadline)
+        except DeadlineExceeded:
+            obs.inc("predict.deadline_exceeded_total",
+                    help="Predict calls abandoned past their deadline")
+            raise
         return out, len(slices)

@@ -93,28 +93,33 @@ class CostPredictor:
             self._executor.close()
             self._executor = None
 
-    def predict(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
+    def predict(self, plan: PhysicalPlan, resources: ResourceProfile,
+                deadline=None) -> float:
         """Predicted cost (seconds) of running ``plan`` under ``resources``."""
-        return float(self.predict_many([(plan, resources)])[0])
+        return float(self.predict_many([(plan, resources)],
+                                       deadline=deadline)[0])
 
     def predict_encoded(self, encoded: list[EncodedPlan],
-                        fast: bool = True) -> np.ndarray:
+                        fast: bool = True, deadline=None) -> np.ndarray:
         """Predicted costs (seconds) for already-encoded pairs.
 
         The execution entry point shared by :meth:`predict_many` and
         the guarded predictor's RAAL stage — both route through the
-        configured engine, so precision and threading policy apply
-        under the fallback chain too.
+        configured engine, so precision, threading, and deadline policy
+        apply under the fallback chain too.
         """
         return self.trainer.predict_seconds(encoded, fast=fast,
-                                            executor=self.executor)
+                                            executor=self.executor,
+                                            deadline=deadline)
 
     def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
-                     fast: bool = True) -> np.ndarray:
+                     fast: bool = True, deadline=None) -> np.ndarray:
         """Vector of predicted costs for many (plan, resources) pairs.
 
         Repeated plans across pairs are encoded once (the encoder
-        dedups within the call and memoizes across calls).
+        dedups within the call and memoizes across calls). ``deadline``
+        (a :class:`~repro.reliability.deadline.Deadline`) bounds the
+        call; expiry raises :class:`~repro.errors.DeadlineExceeded`.
         """
         with obs.span("predict", pairs=len(pairs), fast=fast):
             start = self.trainer.clock()
@@ -123,14 +128,16 @@ class CostPredictor:
             obs.inc("predict.pairs_total", len(pairs),
                     help="(plan, resources) pairs predicted")
             encoded = self.encoder.encode_many(pairs)
-            costs = self.predict_encoded(encoded, fast=fast)
+            if deadline is not None:
+                deadline.check("after encode")
+            costs = self.predict_encoded(encoded, fast=fast, deadline=deadline)
             obs.observe("predict.latency_seconds", self.trainer.clock() - start,
                         help="End-to-end predict_many latency")
             return costs
 
     def predict_grid(self, plans: list[PhysicalPlan],
                      profiles: list[ResourceProfile],
-                     fast: bool = True) -> np.ndarray:
+                     fast: bool = True, deadline=None) -> np.ndarray:
         """Cost matrix ``(len(profiles), len(plans))`` for a full grid.
 
         The plan-selection / resource-recommendation workload: every
@@ -152,20 +159,25 @@ class CostPredictor:
             obs.inc("predict.grids_total",
                     help="CostPredictor grid prediction calls")
             if factored:
-                return self._predict_grid_factored(plans, profiles)
+                return self._predict_grid_factored(plans, profiles,
+                                                   deadline=deadline)
             pairs = [(plan, profile) for profile in profiles for plan in plans]
-            costs = self.predict_many(pairs, fast=fast)
+            costs = self.predict_many(pairs, fast=fast, deadline=deadline)
             return costs.reshape(len(profiles), len(plans))
 
     def _predict_grid_factored(self, plans: list[PhysicalPlan],
-                               profiles: list[ResourceProfile]) -> np.ndarray:
+                               profiles: list[ResourceProfile],
+                               deadline=None) -> np.ndarray:
         start = self.trainer.clock()
         # One encode per plan; the attached resource vector is a
         # placeholder — the factored kernel takes the profile matrix
         # separately.
         encoded = self.encoder.encode_many([(p, profiles[0]) for p in plans])
+        if deadline is not None:
+            deadline.check("after encode")
         profile_features = np.stack([p.as_features() for p in profiles])
-        log_grid, _ = self.executor.predict_log_grid(encoded, profile_features)
+        log_grid, _ = self.executor.predict_log_grid(encoded, profile_features,
+                                                     deadline=deadline)
         costs = self.trainer._seconds_from_log(log_grid.ravel())
         obs.observe("predict.latency_seconds", self.trainer.clock() - start,
                     help="End-to-end predict_many latency")

@@ -379,7 +379,8 @@ class Trainer:
         return self._executor
 
     def predict_log(self, encoded: list[EncodedPlan], fast: bool = True,
-                    bucket: bool = True, executor=None) -> np.ndarray:
+                    bucket: bool = True, executor=None,
+                    deadline=None) -> np.ndarray:
         """Log-space predictions for encoded plans.
 
         The entire path runs under :func:`no_grad` — no autograd graph
@@ -397,6 +398,9 @@ class Trainer:
         :class:`~repro.core.execution.BucketExecutor` (precision tier,
         bucket-level threading); the default engine runs float64 on the
         calling thread and is bit-identical to the pre-engine path.
+        ``deadline`` bounds the forward — expiry raises
+        :class:`~repro.errors.DeadlineExceeded` instead of returning a
+        late answer.
         """
         if not encoded:
             return np.zeros(0)
@@ -405,7 +409,8 @@ class Trainer:
                       bucket=bucket, precision=engine.precision) as sp:
             start = self.clock()
             preds, batches = engine.predict_log(encoded, fast=fast,
-                                                bucket=bucket)
+                                                bucket=bucket,
+                                                deadline=deadline)
             sp.annotate(batches=batches)
             obs.observe("predict.forward_seconds", self.clock() - start,
                         help="Model forward latency per predict call")
@@ -421,7 +426,8 @@ class Trainer:
         return np.expm1(np.clip(log_preds, 0.0, hi))
 
     def predict_seconds(self, encoded: list[EncodedPlan], fast: bool = True,
-                        bucket: bool = True, executor=None) -> np.ndarray:
+                        bucket: bool = True, executor=None,
+                        deadline=None) -> np.ndarray:
         """Predicted costs in seconds (inverse of the log transform).
 
         Log-space predictions are clamped to ``[0, log_clamp_max]``
@@ -432,5 +438,5 @@ class Trainer:
         saturated batch as a degradation trigger).
         """
         log_preds = self.predict_log(encoded, fast=fast, bucket=bucket,
-                                     executor=executor)
+                                     executor=executor, deadline=deadline)
         return self._seconds_from_log(log_preds)

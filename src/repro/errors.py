@@ -76,6 +76,22 @@ class PredictionError(ReproError):
     """Raised when guarded prediction exhausts every fallback stage."""
 
 
+class DeadlineExceeded(PredictionError):
+    """Raised when a prediction request runs past its latency deadline.
+
+    The guarded chain maps this to the analytic fallback instead of
+    letting the caller block on late model work.
+    """
+
+
+class Overloaded(PredictionError):
+    """Raised when admission control sheds a request under saturation.
+
+    Shedding is deliberately fast (no model work has started), so
+    callers can retry elsewhere or degrade within milliseconds.
+    """
+
+
 class DatasetError(ReproError):
     """Raised for invalid dataset manipulations (e.g. empty split)."""
 

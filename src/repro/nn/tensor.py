@@ -22,6 +22,7 @@ Example
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -30,33 +31,38 @@ from repro.errors import AutogradError, ShapeError
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Per-thread gradient mode: bucket-parallel inference runs no_grad
+# contexts concurrently, and a process-global flag would let one
+# thread's __exit__ clobber another's (leaving gradients disabled for
+# the whole process once the restores interleave). New threads start
+# with gradients enabled.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables gradient tracking.
 
-    While active, all new tensors produced by operations are detached
-    from the autograd graph, which makes inference cheaper.
+    While active, all new tensors produced by operations *on this
+    thread* are detached from the autograd graph, which makes inference
+    cheaper. The mode is thread-local, so concurrent inference workers
+    cannot corrupt each other's (or the training loop's) grad mode.
 
     >>> with no_grad():
     ...     z = x * 2  # z.requires_grad is False
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient tracking is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient tracking is enabled on this thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -98,7 +104,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False) -> None:
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
@@ -185,7 +191,7 @@ class Tensor:
         out.grad = None
         out._backward = None
         out._op = op
-        tracked = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        tracked = is_grad_enabled() and any(p.requires_grad for p in parents)
         out.requires_grad = tracked
         out._parents = tuple(parents) if tracked else ()
         return out

@@ -20,6 +20,7 @@ disabled cost is one global read per call site.
 from repro.obs.events import EventLog, EventLogHandler
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    DRIFT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -48,6 +49,7 @@ from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DRIFT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

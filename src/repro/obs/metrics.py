@@ -26,6 +26,7 @@ from repro.errors import TelemetryError
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DRIFT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -38,6 +39,12 @@ __all__ = [
 #: A terminal +Inf bucket is implicit in every histogram.
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
     round(10.0 ** (k / 2.0), 12) for k in range(-10, 4))
+
+#: Half-decade buckets for dimensionless ratios (relative drift of the
+#: degraded precision tiers): 1e-5 … 10. The 5% accuracy budget falls
+#: mid-range, so both in-budget and breaching samples resolve clearly.
+DRIFT_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (k / 2.0), 12) for k in range(-10, 3))
 
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
 

@@ -1,15 +1,25 @@
 """Reliability layer: the learned cost model may degrade, never crash.
 
-Four pieces, composed by :class:`GuardedCostPredictor`:
+Composed by :class:`GuardedCostPredictor`:
 
 * :mod:`repro.reliability.guard` — the RAAL → GPSJ → heuristic fallback
   chain with input validation and per-answer provenance;
 * :mod:`repro.reliability.circuit` — per-stage circuit breakers;
 * :mod:`repro.reliability.retry` — bounded retry with backoff;
+* :mod:`repro.reliability.deadline` — per-request latency budgets that
+  abandon learned-model work past the deadline;
+* :mod:`repro.reliability.admission` — bounded-concurrency admission
+  control that sheds requests fast under saturation;
+* :mod:`repro.reliability.ladder` — the adaptive precision-degradation
+  ladder (f64 → f32 → int8 → analytic-only) driven by rolling p99;
+* :mod:`repro.reliability.canary` — the accuracy canary shadow-scoring
+  degraded answers against the f64 path;
 * :mod:`repro.reliability.faults` — deterministic fault injection used
   by the test suite to prove every degradation path engages.
 """
 
+from repro.reliability.admission import AdmissionConfig, AdmissionController
+from repro.reliability.canary import AccuracyCanary
 from repro.reliability.circuit import (
     CLOSED,
     HALF_OPEN,
@@ -17,13 +27,21 @@ from repro.reliability.circuit import (
     BreakerConfig,
     CircuitBreaker,
 )
+from repro.reliability.deadline import Deadline
 from repro.reliability.faults import FaultInjector
 from repro.reliability.guard import (
     DEFAULT_CHAIN,
+    SHED_MODES,
     ExplainedPredictions,
     GuardedCostPredictor,
     GuardedPrediction,
     static_heuristic_cost,
+)
+from repro.reliability.ladder import (
+    LADDER_STATES,
+    DegradationLadder,
+    LadderConfig,
+    LadderTransition,
 )
 from repro.reliability.retry import RetryPolicy, compute_backoff, retry_call
 
@@ -33,12 +51,21 @@ __all__ = [
     "CLOSED",
     "OPEN",
     "HALF_OPEN",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AccuracyCanary",
+    "Deadline",
+    "DegradationLadder",
+    "LadderConfig",
+    "LadderTransition",
+    "LADDER_STATES",
     "FaultInjector",
     "GuardedCostPredictor",
     "GuardedPrediction",
     "ExplainedPredictions",
     "static_heuristic_cost",
     "DEFAULT_CHAIN",
+    "SHED_MODES",
     "RetryPolicy",
     "compute_backoff",
     "retry_call",

@@ -1,0 +1,179 @@
+"""Admission control: bounded in-flight work with shed-on-full.
+
+Under overload a prediction service must choose between queueing
+(latency grows without bound) and shedding (a few callers fail fast,
+the rest stay inside their deadline). :class:`AdmissionController`
+implements the shedding policy:
+
+* at most ``max_in_flight`` requests hold an execution slot at once;
+* at most ``max_queue_depth`` further requests may wait for a slot,
+  each for at most ``max_wait_seconds`` (clamped to the request's
+  deadline, when it carries one);
+* everything beyond that is shed *immediately* with the typed
+  :class:`~repro.errors.Overloaded` — no lock convoy, no model work.
+
+The controller is a standalone primitive (usable around any callable);
+:class:`~repro.reliability.guard.GuardedCostPredictor` wraps its RAAL
+stage in one so a saturated model falls back to the analytic chain (or
+rejects, in ``shed_mode="reject"``) instead of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro import obs
+from repro.errors import Overloaded, ReproError
+from repro.reliability.deadline import Deadline
+
+__all__ = ["AdmissionConfig", "AdmissionController", "Overloaded"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Concurrency and queueing limits of one admission controller."""
+
+    #: Requests allowed to execute concurrently.
+    max_in_flight: int = 4
+    #: Requests allowed to wait for a slot; beyond this, shed instantly.
+    max_queue_depth: int = 8
+    #: Longest any request may wait for a slot before being shed.
+    max_wait_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ReproError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}")
+        if self.max_queue_depth < 0:
+            raise ReproError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}")
+        if self.max_wait_seconds < 0:
+            raise ReproError("max_wait_seconds must be non-negative")
+
+
+class AdmissionController:
+    """Bounded in-flight semaphore + bounded wait queue, shed-on-full.
+
+    Thread-safe; one controller fronts all serving threads of a
+    predictor. Sheds raise :class:`Overloaded` and are counted in
+    ``predict.shed_total`` plus the controller's own tallies
+    (:meth:`snapshot`).
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        self._cv = threading.Condition(threading.Lock())
+        self._in_flight = 0
+        self._waiting = 0
+        self._admitted_total = 0
+        self._shed_queue_full = 0
+        self._shed_wait_timeout = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a slot."""
+        return self._waiting
+
+    @property
+    def shed_total(self) -> int:
+        """Requests shed since construction (queue-full + wait-timeout)."""
+        return self._shed_queue_full + self._shed_wait_timeout
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time accounting for ``repro doctor`` and tests."""
+        with self._cv:
+            return {
+                "in_flight": self._in_flight,
+                "queue_depth": self._waiting,
+                "admitted_total": self._admitted_total,
+                "shed_queue_full": self._shed_queue_full,
+                "shed_wait_timeout": self._shed_wait_timeout,
+            }
+
+    # -- the gate ----------------------------------------------------------
+    def acquire(self, deadline: Deadline | None = None) -> None:
+        """Take an execution slot or raise :class:`Overloaded`.
+
+        Waits at most ``max_wait_seconds`` (further clamped to the
+        request's remaining deadline) when the queue has room; sheds
+        instantly when it does not. Callers must pair every successful
+        acquire with :meth:`release` — prefer :meth:`admit`.
+        """
+        start = self._clock()
+        with self._cv:
+            if self._in_flight < self.config.max_in_flight:
+                self._in_flight += 1
+                self._admitted_total += 1
+                self._note_gauges()
+                return
+            budget = self.config.max_wait_seconds
+            if deadline is not None:
+                budget = min(budget, max(deadline.remaining(), 0.0))
+            if self._waiting >= self.config.max_queue_depth or budget <= 0:
+                self._shed_queue_full += 1
+                self._shed("queue full", start)
+            self._waiting += 1
+            self._note_gauges()
+            try:
+                wait_until = self._clock() + budget
+                while self._in_flight >= self.config.max_in_flight:
+                    left = wait_until - self._clock()
+                    if left <= 0:
+                        self._shed_wait_timeout += 1
+                        self._shed(
+                            f"no slot within {budget * 1e3:.0f}ms", start)
+                    self._cv.wait(left)
+                self._in_flight += 1
+                self._admitted_total += 1
+            finally:
+                self._waiting -= 1
+                self._note_gauges()
+        obs.observe("admission.wait_seconds", self._clock() - start,
+                    help="Time spent queued for an execution slot")
+
+    def release(self) -> None:
+        """Return an execution slot and wake one queued waiter."""
+        with self._cv:
+            if self._in_flight <= 0:
+                raise ReproError("release() without a matching acquire()")
+            self._in_flight -= 1
+            self._note_gauges()
+            self._cv.notify()
+
+    @contextmanager
+    def admit(self, deadline: Deadline | None = None) -> Iterator[None]:
+        """Context-managed :meth:`acquire` / :meth:`release` pair."""
+        self.acquire(deadline)
+        try:
+            yield
+        finally:
+            self.release()
+
+    def _note_gauges(self) -> None:
+        obs.set_gauge("admission.in_flight", self._in_flight,
+                      help="Requests currently executing")
+        obs.set_gauge("admission.queue_depth", self._waiting,
+                      help="Requests currently queued for a slot")
+
+    def _shed(self, why: str, start: float) -> None:
+        """Reject one request (caller holds the condition's lock)."""
+        obs.inc("predict.shed_total",
+                help="Requests shed by admission control")
+        obs.emit_event("admission", "shed", reason=why,
+                       in_flight=self._in_flight, waiting=self._waiting)
+        raise Overloaded(
+            f"admission control shed request ({why}; "
+            f"in_flight={self._in_flight}, waiting={self._waiting}, "
+            f"waited {(self._clock() - start) * 1e3:.1f}ms)")

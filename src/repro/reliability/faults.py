@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 from typing import Callable
 
 import numpy as np
@@ -116,6 +117,95 @@ class FaultInjector:
         def _restore() -> None:
             model.__dict__.pop("forward", None)
             model.__dict__.pop("forward_inference", None)
+
+        return _restore
+
+    def force_bucket_hang(self, model: Module, seconds: float,
+                          sleep: Callable[[float], None] = time.sleep,
+                          ) -> Callable[[], None]:
+        """Stall every inference bucket forward by ``seconds``.
+
+        Wraps the model's fast-path ``forward_inference`` with a sleep
+        before delegating — the "slow worker" scenario that deadline
+        watchdogs and the degradation ladder must absorb. The hang runs
+        *inside* the bucket worker thread, so a threaded
+        :class:`~repro.core.execution.BucketExecutor` sees genuinely
+        stuck in-flight futures, not a slow submit. Returns a restore
+        callable that re-arms the healthy forward.
+        """
+        if seconds < 0:
+            raise ReproError(f"hang seconds must be >= 0, got {seconds}")
+        if not hasattr(model, "forward_inference"):
+            raise ReproError("model has no inference fast path to stall")
+        original = model.forward_inference
+
+        def _stalled(*args, **kwargs):
+            sleep(seconds)
+            return original(*args, **kwargs)
+
+        model.forward_inference = _stalled
+
+        def _restore() -> None:
+            model.__dict__.pop("forward_inference", None)
+
+        return _restore
+
+    def corrupt_precision_cache(self, model: Module, precision: str = "int8",
+                                magnitude: float = 0.5) -> int:
+        """Skew a cached reduced-precision weight bundle in place.
+
+        Multiplies every dense-head GEMM weight of the model's cached
+        ``precision`` bundle by ``1 + magnitude`` **without** touching
+        the f64 parameters — the bundle's staleness fingerprint still
+        matches, so the corruption survives cache revalidation and only
+        an accuracy canary comparing against the f64 path can catch it.
+        The bundle must already exist (run one prediction at that tier
+        first). Returns the number of arrays corrupted.
+        """
+        if precision not in ("f32", "int8"):
+            raise ReproError(
+                f"only cached tiers (f32/int8) can be corrupted, "
+                f"got {precision!r}")
+        cache = getattr(model, "_inference_weights", None)
+        entry = cache.get(precision) if cache else None
+        if entry is None:
+            raise ReproError(
+                f"model has no cached {precision} bundle to corrupt "
+                f"(run a prediction at that tier first)")
+        weights = entry[1]
+        corrupted = 0
+        for op in weights.dense:
+            if op[0] == "linear":
+                gemm = op[1]
+                gemm *= 1.0 + magnitude
+                corrupted += 1
+        if not corrupted:
+            raise ReproError("bundle has no dense GEMM weights to corrupt")
+        return corrupted
+
+    def force_queue_saturation(self, admission) -> Callable[[], None]:
+        """Occupy every admission slot, so real requests queue or shed.
+
+        Acquires ``max_in_flight`` slots on the controller and holds
+        them — the "stuck fleet" scenario. Returns a restore callable
+        that releases the held slots (idempotent).
+        """
+        held = 0
+        try:
+            for _ in range(admission.config.max_in_flight):
+                admission.acquire()
+                held += 1
+        except Exception:
+            for _ in range(held):
+                admission.release()
+            raise
+
+        state = {"held": held}
+
+        def _restore() -> None:
+            while state["held"] > 0:
+                admission.release()
+                state["held"] -= 1
 
         return _restore
 

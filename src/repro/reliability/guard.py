@@ -14,12 +14,37 @@ after K consecutive failures, re-probe after a cooldown) and the RAAL
 stage additionally retries transient faults with bounded backoff.
 Every answer carries provenance: which stage produced it and, when the
 chain degraded, why.
+
+On top of the fault chain sits the overload-resilience layer (all
+optional, all default-off):
+
+* **Deadlines** — every predict call accepts a
+  :class:`~repro.reliability.deadline.Deadline` (or synthesizes one
+  from ``default_deadline_ms``); the learned stage abandons work past
+  the budget and the chain serves the analytic answer instead. A blown
+  deadline is *load*, not model failure — it never trips the breaker
+  and is never retried.
+* **Admission control** — an :class:`~repro.reliability.admission.
+  AdmissionController` bounds learned-model concurrency; shed requests
+  either fall through to the analytic chain (``shed_mode="fallback"``,
+  default) or raise :class:`~repro.errors.Overloaded` within
+  milliseconds (``shed_mode="reject"``).
+* **Degradation ladder** — a :class:`~repro.reliability.ladder.
+  DegradationLadder` fed with learned-stage latencies picks the
+  serving precision tier (f64 → f32 → int8 → analytic-only) and is
+  pinned to its bottom rung while the RAAL breaker is open. The ladder
+  assumes the configured base tier is ``f64``.
+* **Accuracy canary** — while degraded, an
+  :class:`~repro.reliability.canary.AccuracyCanary` shadow-scores a
+  seeded ~1% sample on the f64 path and trips the ladder back up when
+  relative drift breaches the budget.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -28,9 +53,13 @@ from repro import obs
 from repro.baselines.gpsj import GPSJCostModel
 from repro.cluster.resources import ResourceProfile
 from repro.core.predictor import CostPredictor
-from repro.errors import PredictionError
+from repro.errors import DeadlineExceeded, Overloaded, PredictionError
 from repro.plan.physical import PhysicalPlan
+from repro.reliability.admission import AdmissionController
+from repro.reliability.canary import AccuracyCanary
 from repro.reliability.circuit import BreakerConfig, CircuitBreaker
+from repro.reliability.deadline import Deadline
+from repro.reliability.ladder import DegradationLadder
 from repro.reliability.retry import RetryPolicy, retry_call
 
 __all__ = [
@@ -39,7 +68,12 @@ __all__ = [
     "GuardedCostPredictor",
     "static_heuristic_cost",
     "DEFAULT_CHAIN",
+    "SHED_MODES",
 ]
+
+#: How admission-control sheds surface: degrade to the analytic chain,
+#: or reject the request with :class:`~repro.errors.Overloaded`.
+SHED_MODES = ("fallback", "reject")
 
 DEFAULT_CHAIN = ("raal", "gpsj", "heuristic")
 
@@ -110,6 +144,11 @@ class _StageStats:
     failures: int = 0
     skipped_open: int = 0
     rejected_input: int = 0
+    # Overload-resilience accounting (only the learned stage uses these).
+    deadline_exceeded: int = 0
+    shed: int = 0
+    degraded_precision: int = 0
+    ladder_fallback: int = 0
 
 
 class GuardedCostPredictor:
@@ -136,6 +175,24 @@ class GuardedCostPredictor:
     retry_policy:
         Bounded-backoff retry applied to the RAAL stage only (the
         analytic stages are deterministic — retrying them is pointless).
+        Blown deadlines and shed requests are never retried.
+    admission:
+        Optional :class:`AdmissionController` bounding learned-model
+        concurrency; sheds surface per ``shed_mode``.
+    ladder:
+        Optional :class:`DegradationLadder` choosing the serving
+        precision tier from rolling learned-stage latency; coupled to
+        the RAAL breaker (open ⇒ ladder pinned to FALLBACK).
+    canary:
+        Optional :class:`AccuracyCanary` shadow-scoring degraded-tier
+        answers against the f64 path; a drift breach trips the ladder
+        back up.
+    default_deadline_ms:
+        When set, every predict call without an explicit deadline gets
+        a fresh one with this budget.
+    shed_mode:
+        ``"fallback"`` (default) serves shed requests from the analytic
+        chain; ``"reject"`` raises :class:`~repro.errors.Overloaded`.
     clock / sleep:
         Injectable time sources for deterministic tests.
     """
@@ -147,6 +204,11 @@ class GuardedCostPredictor:
         chain: tuple[str, ...] = DEFAULT_CHAIN,
         breaker_config: BreakerConfig | None = None,
         retry_policy: RetryPolicy | None = None,
+        admission: AdmissionController | None = None,
+        ladder: DegradationLadder | None = None,
+        canary: AccuracyCanary | None = None,
+        default_deadline_ms: float | None = None,
+        shed_mode: str = "fallback",
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -155,11 +217,24 @@ class GuardedCostPredictor:
             raise PredictionError(f"unknown fallback stages: {sorted(unknown)}")
         if not chain:
             raise PredictionError("fallback chain cannot be empty")
+        if shed_mode not in SHED_MODES:
+            raise PredictionError(
+                f"unknown shed_mode {shed_mode!r}; expected one of {SHED_MODES}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise PredictionError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}")
         self.predictor = predictor
         self.gpsj = gpsj
         self.chain = tuple(chain)
         self.retry_policy = retry_policy or RetryPolicy(attempts=2, base_delay=0.0)
+        self.admission = admission
+        self.ladder = ladder
+        self.canary = canary
+        self.default_deadline_ms = default_deadline_ms
+        self.shed_mode = shed_mode
+        self._clock = clock
         self._sleep = sleep
+        self._tier_predictors: dict[str, CostPredictor] = {}
         self.breakers = {
             stage: CircuitBreaker(config=breaker_config, clock=clock,
                                   on_transition=self._breaker_listener(stage))
@@ -167,14 +242,20 @@ class GuardedCostPredictor:
         }
         self.stats = {stage: _StageStats() for stage in self.chain}
 
-    @staticmethod
-    def _breaker_listener(stage: str) -> Callable[[str, str], None]:
-        """Telemetry hook for one stage's breaker state changes."""
+    def _breaker_listener(self, stage: str) -> Callable[[str, str], None]:
+        """Telemetry hook for one stage's breaker state changes.
+
+        The RAAL stage's transitions additionally drive the degradation
+        ladder: an open breaker pins it to FALLBACK, the half-open
+        probe releases it.
+        """
         def _on_transition(old: str, new: str) -> None:
             obs.inc(f"guard.{stage}.breaker_transitions_total",
                     help="Circuit breaker state changes")
             obs.emit_event("guard", "breaker_transition",
                            stage=stage, old=old, new=new)
+            if stage == "raal" and self.ladder is not None:
+                self.ladder.on_breaker_transition(old, new)
         return _on_transition
 
     # -- CostPredictor-compatible surface ---------------------------------
@@ -188,14 +269,23 @@ class GuardedCostPredictor:
         """The wrapped predictor's trainer (CostPredictor compatibility)."""
         return self.predictor.trainer
 
-    def predict(self, plan: PhysicalPlan, resources: ResourceProfile) -> float:
+    def close(self) -> None:
+        """Release worker pools held by the base and tier predictors."""
+        self.predictor.close()
+        for predictor in self._tier_predictors.values():
+            predictor.close()
+
+    def predict(self, plan: PhysicalPlan, resources: ResourceProfile,
+                deadline: Deadline | None = None) -> float:
         """Guarded cost (seconds) of one (plan, resources) pair."""
-        return self.predict_explained(plan, resources).seconds
+        return self.predict_explained(plan, resources, deadline=deadline).seconds
 
     def predict_explained(self, plan: PhysicalPlan,
-                          resources: ResourceProfile) -> GuardedPrediction:
+                          resources: ResourceProfile,
+                          deadline: Deadline | None = None) -> GuardedPrediction:
         """Guarded cost of one pair, with provenance."""
-        explained = self.predict_many_explained([(plan, resources)])
+        explained = self.predict_many_explained([(plan, resources)],
+                                                deadline=deadline)
         return GuardedPrediction(
             seconds=float(explained.costs[0]),
             source=explained.source,
@@ -203,22 +293,29 @@ class GuardedCostPredictor:
         )
 
     def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
-                     fast: bool = True) -> np.ndarray:
+                     fast: bool = True,
+                     deadline: Deadline | None = None) -> np.ndarray:
         """Guarded cost vector (drop-in for ``CostPredictor.predict_many``)."""
-        return self.predict_many_explained(pairs, fast=fast).costs
+        return self.predict_many_explained(pairs, fast=fast,
+                                           deadline=deadline).costs
 
     def predict_grid(self, plans: list[PhysicalPlan],
                      profiles: list[ResourceProfile],
-                     fast: bool = True) -> np.ndarray:
+                     fast: bool = True,
+                     deadline: Deadline | None = None) -> np.ndarray:
         """Guarded cost matrix (drop-in for ``CostPredictor.predict_grid``)."""
-        return self.predict_grid_explained(plans, profiles, fast=fast).costs
+        return self.predict_grid_explained(plans, profiles, fast=fast,
+                                           deadline=deadline).costs
 
     def predict_grid_explained(self, plans: list[PhysicalPlan],
                                profiles: list[ResourceProfile],
-                               fast: bool = True) -> ExplainedPredictions:
+                               fast: bool = True,
+                               deadline: Deadline | None = None,
+                               ) -> ExplainedPredictions:
         """Guarded ``(len(profiles), len(plans))`` grid with provenance."""
         pairs = [(plan, profile) for profile in profiles for plan in plans]
-        explained = self.predict_many_explained(pairs, fast=fast)
+        explained = self.predict_many_explained(pairs, fast=fast,
+                                                deadline=deadline)
         return ExplainedPredictions(
             costs=explained.costs.reshape(len(profiles), len(plans)),
             source=explained.source,
@@ -242,12 +339,40 @@ class GuardedCostPredictor:
             counts[f"{stage}.failures"] = stat.failures
             counts[f"{stage}.skipped_open"] = stat.skipped_open
             counts[f"{stage}.rejected_input"] = stat.rejected_input
+        raal = self.stats.get("raal")
+        if raal is not None:
+            counts["deadline_exceeded"] = raal.deadline_exceeded
+            counts["shed"] = raal.shed
+            counts["degraded_precision"] = raal.degraded_precision
+            counts["ladder_fallback"] = raal.ladder_fallback
         return counts
+
+    def health_state(self) -> dict[str, object]:
+        """Live overload-resilience posture (``repro doctor`` and tests).
+
+        Summarizes the ladder rung, breaker states, and admission /
+        canary snapshots in one JSON-friendly dict.
+        """
+        state: dict[str, object] = {
+            "ladder": self.ladder.state if self.ladder is not None else "healthy",
+            "precision": (self.ladder.precision() if self.ladder is not None
+                          else self.predictor.config.precision),
+            "breakers": {stage: breaker.state
+                         for stage, breaker in self.breakers.items()},
+            "shed_mode": self.shed_mode,
+            "default_deadline_ms": self.default_deadline_ms,
+        }
+        if self.admission is not None:
+            state["admission"] = self.admission.snapshot()
+        if self.canary is not None:
+            state["canary"] = self.canary.snapshot()
+        return state
 
     # -- the chain ---------------------------------------------------------
     def predict_many_explained(
         self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
         fast: bool = True,
+        deadline: Deadline | None = None,
     ) -> ExplainedPredictions:
         """Run the fallback chain for a batch of (plan, resources) pairs.
 
@@ -255,17 +380,24 @@ class GuardedCostPredictor:
         when its breaker is open; input-validation rejections (bad
         *request*, e.g. an oversized plan) skip the RAAL stage without
         counting against its breaker, since they say nothing about the
-        model's health. Raises :class:`PredictionError` only when every
-        stage fails.
+        model's health. Blown deadlines and admission sheds likewise
+        degrade without tripping the breaker — they are load signals,
+        not model failures. Raises :class:`PredictionError` only when
+        every stage fails (or :class:`~repro.errors.Overloaded` when a
+        shed occurs under ``shed_mode="reject"``).
         """
         if not pairs:
             return ExplainedPredictions(costs=np.zeros(0), source=self.chain[0])
+        if deadline is None and self.default_deadline_ms is not None:
+            deadline = Deadline.from_ms(self.default_deadline_ms,
+                                        clock=self._clock)
         with obs.span("guarded_predict", pairs=len(pairs)) as sp:
             obs.inc("guard.requests_total", help="Guarded prediction requests")
             reasons: list[str] = []
             for stage in self.chain:
                 breaker = self.breakers[stage]
                 stats = self.stats[stage]
+                tier: str | None = None
                 if stage == "raal":
                     problem = self._validate_inputs(pairs)
                     if problem is not None:
@@ -276,6 +408,18 @@ class GuardedCostPredictor:
                                        stage="raal", reason=problem)
                         reasons.append(f"raal: {problem}")
                         continue
+                    if self.ladder is not None and fast:
+                        tier = self.ladder.precision()
+                        if tier is None:
+                            stats.ladder_fallback += 1
+                            obs.inc("guard.raal.ladder_fallback_total",
+                                    help="Requests routed past the learned "
+                                         "model while the ladder sat in "
+                                         "FALLBACK")
+                            reasons.append("raal: ladder in fallback")
+                            continue
+                        if tier in ("f64", self.predictor.config.precision):
+                            tier = None  # healthy rung serves the base tier
                 if not breaker.allow():
                     stats.skipped_open += 1
                     obs.inc(f"guard.{stage}.skipped_open_total",
@@ -283,7 +427,28 @@ class GuardedCostPredictor:
                     reasons.append(f"{stage}: circuit open")
                     continue
                 try:
-                    costs = self._run_stage(stage, pairs, fast=fast)
+                    if stage == "raal":
+                        costs = self._guarded_raal(pairs, fast=fast,
+                                                   deadline=deadline, tier=tier)
+                    else:
+                        costs = self._run_stage(stage, pairs, fast=fast)
+                except Overloaded as exc:
+                    stats.shed += 1
+                    obs.emit_event("guard", "shed", stage="raal",
+                                   error=str(exc))
+                    reasons.append(f"raal: shed — {exc}")
+                    if self.shed_mode == "reject":
+                        raise
+                    continue
+                except DeadlineExceeded as exc:
+                    stats.deadline_exceeded += 1
+                    obs.inc("guard.raal.deadline_exceeded_total",
+                            help="Learned-stage attempts abandoned past "
+                                 "their deadline")
+                    obs.emit_event("guard", "deadline_exceeded",
+                                   stage="raal", error=str(exc))
+                    reasons.append(f"raal: deadline_exceeded — {exc}")
+                    continue
                 except Exception as exc:  # reliability boundary: degrade, never crash
                     breaker.record_failure()
                     stats.failures += 1
@@ -297,6 +462,12 @@ class GuardedCostPredictor:
                 stats.served += 1
                 obs.inc(f"guard.{stage}.served_total",
                         help="Requests answered by this stage")
+                if stage == "raal" and tier is not None:
+                    stats.degraded_precision += 1
+                    obs.inc("guard.raal.degraded_precision_total",
+                            help="Learned answers served at a ladder-"
+                                 "degraded precision tier")
+                    reasons.append(f"raal: degraded_precision:{tier}")
                 degraded = stage != self.chain[0]
                 sp.annotate(source=stage, degraded=degraded)
                 if degraded:
@@ -317,22 +488,57 @@ class GuardedCostPredictor:
 
     # -- stages ------------------------------------------------------------
     def _run_stage(self, stage: str, pairs, fast: bool) -> np.ndarray:
-        if stage == "raal":
-            def _on_retry(retry_index: int, exc: BaseException) -> None:
-                obs.inc("guard.raal.retry_attempts_total",
-                        help="Transient-fault retries of the learned model")
-                obs.emit_event("guard", "retry", stage="raal",
-                               attempt=retry_index + 1, error=str(exc))
-
-            return retry_call(
-                lambda: self._raal_costs(pairs, fast=fast),
-                policy=self.retry_policy, sleep=self._sleep,
-                on_retry=_on_retry)
         if stage == "gpsj":
             return self._gpsj_costs(pairs)
         return self._heuristic_costs(pairs)
 
-    def _raal_costs(self, pairs, fast: bool) -> np.ndarray:
+    def _guarded_raal(self, pairs, fast: bool, deadline: Deadline | None,
+                      tier: str | None) -> np.ndarray:
+        """Admission-gated, ladder-tiered, retried learned prediction.
+
+        Learned-stage latency feeds the ladder on success *and* on a
+        blown deadline — overruns are exactly the signal that should
+        push it down. Generic failures do not feed it (the breaker owns
+        those).
+        """
+        def _on_retry(retry_index: int, exc: BaseException) -> None:
+            obs.inc("guard.raal.retry_attempts_total",
+                    help="Transient-fault retries of the learned model")
+            obs.emit_event("guard", "retry", stage="raal",
+                           attempt=retry_index + 1, error=str(exc))
+
+        admit = (self.admission.admit(deadline)
+                 if self.admission is not None else nullcontext())
+        with admit:
+            start = self._clock()
+            try:
+                costs = retry_call(
+                    lambda: self._raal_costs(pairs, fast=fast,
+                                             deadline=deadline, tier=tier),
+                    policy=self.retry_policy, sleep=self._sleep,
+                    give_up_on=(DeadlineExceeded, Overloaded),
+                    on_retry=_on_retry)
+            except DeadlineExceeded:
+                if self.ladder is not None:
+                    self.ladder.record(self._clock() - start)
+                raise
+            if self.ladder is not None:
+                self.ladder.record(self._clock() - start)
+            return costs
+
+    def _tier_predictor(self, tier: str | None) -> CostPredictor:
+        """The serving predictor for a ladder tier (base config when None)."""
+        if tier is None or tier == self.predictor.config.precision:
+            return self.predictor
+        cached = self._tier_predictors.get(tier)
+        if cached is None:
+            cached = self.predictor.configured(
+                replace(self.predictor.config, precision=tier))
+            self._tier_predictors[tier] = cached
+        return cached
+
+    def _raal_costs(self, pairs, fast: bool, deadline: Deadline | None = None,
+                    tier: str | None = None) -> np.ndarray:
         encoded = self.predictor.encoder.encode_many(pairs)
         bad = [i for i, e in enumerate(encoded)
                if not (np.all(np.isfinite(e.node_features))
@@ -342,9 +548,12 @@ class GuardedCostPredictor:
             raise PredictionError(
                 f"non-finite encoded features for {len(bad)} of "
                 f"{len(encoded)} samples (first at index {bad[0]})")
-        # Route through the predictor's configured engine so the
-        # precision tier and bucket threading apply under the guard too.
-        costs = self.predictor.predict_encoded(encoded, fast=fast)
+        if deadline is not None:
+            deadline.check("after encode")
+        # Route through the (possibly ladder-degraded) configured engine
+        # so precision tier and bucket threading apply under the guard.
+        serving = self._tier_predictor(tier)
+        costs = serving.predict_encoded(encoded, fast=fast, deadline=deadline)
         if not np.all(np.isfinite(costs)):
             raise PredictionError("model produced non-finite costs")
         saturated = getattr(self.predictor.trainer, "last_saturated", 0)
@@ -352,7 +561,28 @@ class GuardedCostPredictor:
             raise PredictionError(
                 f"model output saturated the log-cost clamp for "
                 f"{saturated} of {len(costs)} samples")
+        if (tier is not None and self.canary is not None
+                and self.canary.should_sample()):
+            self._shadow_canary(encoded, costs, tier)
         return costs
+
+    def _shadow_canary(self, encoded, costs: np.ndarray, tier: str) -> None:
+        """Shadow-score a degraded answer on the f64 path (best effort).
+
+        Runs without a deadline — the shadow is sampled bookkeeping, not
+        part of the serving path — and swallows its own failures.
+        """
+        try:
+            reference = self._tier_predictor("f64").predict_encoded(encoded)
+        except Exception as exc:
+            obs.inc("canary.errors_total",
+                    help="Canary shadow predictions that failed")
+            obs.emit_event("canary", "shadow_error", error=str(exc))
+            return
+        tripped = self.canary.observe(np.asarray(costs),
+                                      np.asarray(reference), tier)
+        if tripped and self.ladder is not None:
+            self.ladder.trip_accuracy(f"canary drift on tier {tier}")
 
     def _gpsj_costs(self, pairs) -> np.ndarray:
         if self.gpsj is None:

@@ -60,21 +60,27 @@ def retry_call(
     fn: Callable[[], T],
     policy: RetryPolicy | None = None,
     retry_on: tuple[type[BaseException], ...] = (Exception,),
+    give_up_on: tuple[type[BaseException], ...] = (),
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Callable[[int, BaseException], None] | None = None,
 ) -> T:
     """Call ``fn`` up to ``policy.attempts`` times, backing off between tries.
 
-    Exceptions not matching ``retry_on`` propagate immediately; the last
-    matching exception propagates once attempts are exhausted.
-    ``on_retry(retry_index, exc)`` is invoked before each sleep — useful
-    for provenance logging.
+    Exceptions not matching ``retry_on`` propagate immediately, as do
+    exceptions matching ``give_up_on`` even when they also match
+    ``retry_on`` (a blown deadline or a shed request must never be
+    retried — the budget is already gone). The last matching exception
+    propagates once attempts are exhausted. ``on_retry(retry_index,
+    exc)`` is invoked before each sleep — useful for provenance
+    logging.
     """
     policy = policy or RetryPolicy()
     for attempt in range(policy.attempts):
         try:
             return fn()
         except retry_on as exc:
+            if give_up_on and isinstance(exc, give_up_on):
+                raise
             if attempt == policy.attempts - 1:
                 raise
             if on_retry is not None:
