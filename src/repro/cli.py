@@ -20,7 +20,18 @@ Commands
 ``metrics``
     Render the telemetry of a previous run: load a run artifact written
     by ``--emit-telemetry`` (or ``TelemetryReport.write``) and print
-    its metrics as a table, JSON, or Prometheus text.
+    its metrics as a table, JSON, Prometheus text, or Chrome/Perfetto
+    trace-event JSON (``--format trace``).
+``top``
+    Terminal health snapshot of a run artifact: latency percentiles,
+    q-error quality scopes, drift state, SLO error-budget burn rates,
+    and the degradation-ladder/audit posture. ``--once`` for one frame,
+    otherwise refreshes every ``--interval`` seconds.
+``audit``
+    Query the per-prediction audit trail: the most recent records
+    (``--last N``), one request (``--request ID``), as a table or JSONL
+    (``--json``). Reads either a dedicated audit dump or a full
+    telemetry event stream.
 
 ``experiment``, ``train``, and ``predict`` accept ``--emit-telemetry
 PATH``: the run executes under an attached telemetry bundle, streaming
@@ -106,8 +117,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run artifact: --emit-telemetry JSONL stream "
                               "or a JSON report file")
     metrics.add_argument("--format", default="table",
-                         choices=["table", "json", "prom"],
-                         help="output format (default: table)")
+                         choices=["table", "json", "prom", "trace"],
+                         help="output format (default: table; 'trace' emits "
+                              "Chrome/Perfetto trace-event JSON of the "
+                              "recorded span trees)")
+
+    top = sub.add_parser(
+        "top", help="terminal health snapshot of a run's telemetry")
+    top.add_argument("artifact",
+                     help="run artifact: --emit-telemetry JSONL stream or a "
+                          "JSON report file")
+    top.add_argument("--once", action="store_true",
+                     help="render a single snapshot and exit (default: "
+                          "refresh until interrupted)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default: 2)")
+
+    audit = sub.add_parser(
+        "audit", help="query the per-prediction audit trail of a run")
+    audit.add_argument("artifact",
+                       help="audit JSONL (AuditTrail.write_jsonl) or a "
+                            "telemetry event stream containing audit events")
+    audit.add_argument("--last", type=int, default=10,
+                       help="show the N most recent records (default: 10)")
+    audit.add_argument("--request", default=None,
+                       help="show only records of this request id")
+    audit.add_argument("--json", action="store_true",
+                       help="emit records as JSONL instead of a table")
 
     workload = sub.add_parser("workload", help="generate a random workload")
     workload.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
@@ -297,8 +333,151 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(report.to_json())
     elif args.format == "prom":
         print(report.to_prometheus(), end="")
+    elif args.format == "trace":
+        print(report.to_chrome_trace())
     else:
         print(report.render())
+    return 0
+
+
+def _metric_value(metrics: dict, name: str, default: float = 0.0) -> float:
+    state = metrics.get(name)
+    if not state or "value" not in state:
+        return default
+    return float(state["value"])
+
+
+def _render_top(artifact: str) -> str:
+    """One ``repro top`` frame: latency, quality, SLO burn, health."""
+    from repro.obs.metrics import quantile_from_snapshot
+
+    report = obs.load_report(artifact)
+    metrics = report.metrics
+    sections: list[str] = []
+
+    latency_rows = []
+    for name in sorted(metrics):
+        state = metrics[name]
+        if state.get("kind") != "histogram" or not name.endswith("_seconds"):
+            continue
+        count = state.get("count") or 0
+        if not count:
+            continue
+        mean = state["sum"] / count
+
+        def q(quantile: float, _state=state) -> str:
+            value = quantile_from_snapshot(_state, quantile)
+            return f"{value * 1e3:.2f}" if math.isfinite(value) else "-"
+
+        latency_rows.append([name, str(count), f"{mean * 1e3:.2f}",
+                             q(0.50), q(0.95), q(0.99)])
+    if latency_rows:
+        sections.append(render_table(
+            "latency (ms)", ["histogram", "count", "mean", "p50", "p95", "p99"],
+            latency_rows))
+
+    quality_rows = []
+    scopes = sorted({name.rsplit(".", 1)[0] for name in metrics
+                     if name.endswith(".qerror_mean")})
+    for scope in scopes:
+        quality_rows.append([
+            scope,
+            f"{_metric_value(metrics, f'{scope}.qerror_mean'):.3f}",
+            f"{_metric_value(metrics, f'{scope}.qerror_p50'):.3f}",
+            f"{_metric_value(metrics, f'{scope}.qerror_p95'):.3f}",
+        ])
+    if quality_rows:
+        feedback = _metric_value(metrics, "quality.feedback_total")
+        drifting = _metric_value(metrics, "quality.drift_state") > 0
+        detections = _metric_value(metrics, "quality.drift_detected_total")
+        quality_rows.append([
+            "drift", "DRIFTING" if drifting else "stable",
+            f"detections={detections:g}",
+            f"feedback={feedback:g}"])
+        sections.append(render_table(
+            "prediction quality (q-error)",
+            ["scope", "mean", "p50", "p95"], quality_rows))
+
+    slo_rows = []
+    slo_names = sorted({name.split(".")[1] for name in metrics
+                        if name.startswith("slo.") and name.endswith(".alert")})
+    for slo_name in slo_names:
+        alerting = _metric_value(metrics, f"slo.{slo_name}.alert") > 0
+        slo_rows.append([
+            slo_name,
+            f"{_metric_value(metrics, f'slo.{slo_name}.burn_fast'):.2f}",
+            f"{_metric_value(metrics, f'slo.{slo_name}.burn_slow'):.2f}",
+            "ALERT" if alerting else "ok"])
+    if slo_rows:
+        sections.append(render_table(
+            "SLO error-budget burn", ["slo", "fast", "slow", "state"],
+            slo_rows))
+
+    ladder_names = {0: "healthy", 1: "degraded_f32", 2: "degraded_int8",
+                    3: "fallback"}
+    health_rows = [
+        ["ladder", ladder_names.get(
+            int(_metric_value(metrics, "health.state")), "unknown")],
+        ["guarded requests",
+         f"{_metric_value(metrics, 'guard.requests_total'):g}"],
+        ["degraded answers",
+         f"{_metric_value(metrics, 'guard.degraded_total'):g}"],
+        ["audit records",
+         f"{_metric_value(metrics, 'audit.records_total'):g} "
+         f"(ring {_metric_value(metrics, 'audit.ring_size'):g})"],
+        ["observations",
+         f"{_metric_value(metrics, 'audit.observations_total'):g}"],
+    ]
+    sections.append(render_table("health", ["signal", "value"], health_rows))
+    return "\n\n".join(sections)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.once:
+        print(_render_top(args.artifact))
+        return 0
+    try:
+        while True:
+            frame = _render_top(args.artifact)
+            # Clear + home, then the frame: a cheap terminal dashboard.
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+            _time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs.audit import load_audit_records
+
+    records = load_audit_records(args.artifact)
+    if args.request is not None:
+        records = [r for r in records if r.request_id == args.request]
+    if args.last > 0:
+        records = records[-args.last:]
+    if args.json:
+        import json as _json
+
+        for record in records:
+            print(_json.dumps(record.to_dict(), sort_keys=True))
+        return 0
+
+    def fmt(value, spec=".4f") -> str:
+        return format(value, spec) if value is not None else "-"
+
+    rows = [[r.request_id, str(r.index), r.source or "-", r.tier or "-",
+             fmt(r.prediction_seconds), fmt(r.observed_seconds),
+             fmt(r.q_error, ".3f"),
+             fmt(r.latency_seconds * 1e3 if r.latency_seconds is not None
+                 else None, ".2f"),
+             (r.plan_fingerprint or "-")[:12]]
+            for r in records]
+    print(render_table(
+        f"audit trail ({len(records)} records)",
+        ["request", "i", "source", "tier", "predicted_s", "observed_s",
+         "q_error", "latency_ms", "fingerprint"],
+        rows or [["(none)"] + [""] * 8]))
     return 0
 
 
@@ -308,6 +487,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "doctor": _cmd_doctor,
     "metrics": _cmd_metrics,
+    "top": _cmd_top,
+    "audit": _cmd_audit,
     "workload": _cmd_workload,
 }
 

@@ -67,16 +67,51 @@ class CostPredictor:
     """
 
     def __init__(self, encoder: PlanEncoder, trainer: Trainer,
-                 config: PredictorConfig | None = None) -> None:
+                 config: PredictorConfig | None = None,
+                 quality=None) -> None:
         self.encoder = encoder
         self.trainer = trainer
         self.config = config or PredictorConfig()
         resolve_dtype(self.config.precision)  # validate eagerly
+        # Optional repro.obs.quality.AccuracyTracker; built lazily on
+        # first record_observation when the caller didn't supply one.
+        self.quality = quality
         self._executor: BucketExecutor | None = None
 
     def configured(self, config: PredictorConfig) -> "CostPredictor":
-        """A predictor sharing this one's encoder/model under ``config``."""
-        return CostPredictor(self.encoder, self.trainer, config)
+        """A predictor sharing this one's encoder/model under ``config``.
+
+        The quality tracker is shared too: ladder-degraded tier
+        predictors report into the same feedback accounting as the base
+        tier, distinguished by the ``tier`` scope of each sample.
+        """
+        return CostPredictor(self.encoder, self.trainer, config,
+                             quality=self.quality)
+
+    def record_observation(self, prediction_seconds: float,
+                           observed_seconds: float, *,
+                           tier: str | None = None,
+                           workload: str | None = None) -> float:
+        """Feed one (prediction, observed runtime) pair back.
+
+        The direct feedback API for callers that track their own
+        request identity (the guarded predictor offers the audit-ring
+        variant keyed by request id). Folds the pair into the
+        predictor's :class:`~repro.obs.quality.AccuracyTracker`
+        (created on first use when not injected), under the configured
+        precision tier unless ``tier`` overrides it. Returns the
+        sample's q-error (``nan`` for unusable ground truth).
+        """
+        if self.quality is None:
+            # Imported lazily: repro.obs.quality is cheap, but the
+            # predictor core should not force the quality layer on
+            # programs that never feed observations back.
+            from repro.obs.quality import AccuracyTracker
+
+            self.quality = AccuracyTracker()
+        return self.quality.record(prediction_seconds, observed_seconds,
+                                   tier=tier or self.config.precision,
+                                   workload=workload)
 
     @property
     def executor(self) -> BucketExecutor:

@@ -32,6 +32,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "prometheus_from_snapshot",
+    "quantile_from_snapshot",
     "render_snapshot",
 ]
 
@@ -187,30 +188,16 @@ class Histogram:
         +Inf overflow bucket degrades to the observed max). Estimation
         error is bounded by the bucket width; the latency harness
         additionally reports exact percentiles from raw samples.
-        Raises :class:`TelemetryError` before any sample.
+
+        Raises :class:`ValueError` for ``q`` outside ``[0, 1]``; an
+        empty histogram reports ``nan`` (well-defined, propagates
+        visibly through downstream arithmetic) rather than raising.
         """
         if not 0.0 <= q <= 1.0:
-            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
-            if not self._count:
-                raise TelemetryError(
-                    f"histogram {self.name} has no samples to quantile")
-            rank = q * self._count
-            cumulative = 0
-            for i, n in enumerate(self._counts):
-                if not n:
-                    continue
-                if cumulative + n >= rank:
-                    if i == len(self.buckets):
-                        # Overflow bucket: no finite upper bound to
-                        # interpolate against — report the observed max.
-                        return self._max
-                    lo = 0.0 if i == 0 else self.buckets[i - 1]
-                    fraction = (rank - cumulative) / n
-                    value = lo + (self.buckets[i] - lo) * fraction
-                    return min(max(value, self._min), self._max)
-                cumulative += n
-            return self._max
+            return _quantile_locked(q, self.buckets, self._counts,
+                                    self._count, self._min, self._max)
 
     def snapshot(self) -> dict:
         """JSON-ready state: bounds, per-bucket counts, and summary stats."""
@@ -225,6 +212,49 @@ class Histogram:
                 "min": self._min if self._count else None,
                 "max": self._max if self._count else None,
             }
+
+
+def _quantile_locked(q: float, buckets: tuple[float, ...], counts: list[int],
+                     total: int, minimum: float, maximum: float) -> float:
+    if not total:
+        return math.nan
+    rank = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if not n:
+            continue
+        if cumulative + n >= rank:
+            if i == len(buckets):
+                # Overflow bucket: no finite upper bound to
+                # interpolate against — report the observed max.
+                return maximum
+            lo = 0.0 if i == 0 else buckets[i - 1]
+            fraction = (rank - cumulative) / n
+            value = lo + (buckets[i] - lo) * fraction
+            return min(max(value, minimum), maximum)
+        cumulative += n
+    return maximum
+
+
+def quantile_from_snapshot(state: dict, q: float) -> float:
+    """:meth:`Histogram.quantile` over a persisted snapshot dict.
+
+    Lets ``repro top`` compute p50/p95/p99 from a telemetry report
+    written by an earlier process, without live metric objects. Same
+    semantics as the live method: :class:`ValueError` for ``q`` outside
+    ``[0, 1]``, ``nan`` when the snapshot holds no samples.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = int(state.get("count") or 0)
+    if not count:
+        return math.nan
+    minimum = state.get("min")
+    maximum = state.get("max")
+    return _quantile_locked(
+        q, tuple(state["buckets"]), list(state["counts"]), count,
+        minimum if minimum is not None else -math.inf,
+        maximum if maximum is not None else math.inf)
 
 
 _METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -308,19 +338,29 @@ def _prom_num(value: float) -> str:
     return format(value, "g")
 
 
+def _prom_help(text: str) -> str:
+    # The exposition format requires backslash and newline escapes in
+    # HELP text; anything else passes through verbatim.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_from_snapshot(snapshot: dict[str, dict]) -> str:
     """Render a registry snapshot (or a persisted one) as Prometheus text.
 
     Works on plain dicts so ``repro metrics`` can export run artifacts
     written by an earlier process, without reconstructing live metrics.
+    Counters are rendered under the conventional ``_total`` suffix
+    (added unless the name already carries it).
     """
     lines: list[str] = []
     for name in sorted(snapshot):
         state = snapshot[name]
         prom = _prom_name(name)
         kind = state.get("kind", "gauge")
+        if kind == "counter" and not prom.endswith("_total"):
+            prom += "_total"
         if state.get("help"):
-            lines.append(f"# HELP {prom} {state['help']}")
+            lines.append(f"# HELP {prom} {_prom_help(state['help'])}")
         lines.append(f"# TYPE {prom} {kind}")
         if kind == "histogram":
             cumulative = 0

@@ -57,6 +57,12 @@ class TelemetryReport:
         """The report's metrics in Prometheus text format."""
         return prometheus_from_snapshot(self.metrics)
 
+    def to_chrome_trace(self, indent: int | None = 2) -> str:
+        """The report's span trees as a Chrome/Perfetto trace JSON."""
+        from repro.obs.trace_export import chrome_trace_json
+
+        return chrome_trace_json(self.spans, indent=indent)
+
     def write(self, path: str | pathlib.Path) -> None:
         """Write the JSON report to ``path``."""
         pathlib.Path(path).write_text(self.to_json() + "\n", encoding="utf-8")

@@ -1,0 +1,262 @@
+"""Error-budget burn-rate alerting over serving SLOs.
+
+An :class:`SLO` declares what "bad" means for one signal — a sample
+above ``threshold`` — and how much badness the objective tolerates
+(``objective=0.99`` leaves a 1% error budget). The
+:class:`SLOTracker` folds every sample into per-second good/bad
+buckets and evaluates the classic *multi-window, multi-burn-rate*
+policy: an alert fires only when both a fast window (catches sudden
+regressions quickly) and a slow window (confirms the regression is
+sustained, suppressing blips) are burning budget faster than their
+configured multiples. A burn rate of 1.0 means the budget is consumed
+exactly at the objective's tolerated pace; 14.4 — the conventional
+fast-page threshold — means a 30-day budget would be gone in ~2 days.
+
+Two signals matter for a cost model in production and both route here:
+serving latency (p99-style threshold on per-request seconds) and
+prediction accuracy (rolling q-error from the feedback loop). Alert
+transitions emit ``burn_alert`` / ``burn_alert_cleared`` events and a
+per-SLO ``slo.<name>.alert`` gauge; ``repro top`` renders the current
+burn table.
+
+The clock is injectable so window arithmetic is testable without
+sleeping. Stdlib only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TelemetryError
+from repro.obs import runtime as obs
+
+__all__ = [
+    "SLO",
+    "BurnRateConfig",
+    "SLOTracker",
+]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: samples above ``threshold`` spend error budget."""
+
+    name: str
+    #: A sample strictly above this value is a "bad" event.
+    threshold: float
+    #: Target fraction of good events (0.99 → 1% error budget).
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TelemetryError("SLO needs a non-empty name")
+        if not 0.0 < self.objective < 1.0:
+            raise TelemetryError(
+                f"objective must be in (0, 1), got {self.objective}")
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated bad fraction (``1 - objective``)."""
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnRateConfig:
+    """Window pair and burn multiples of the alerting policy."""
+
+    fast_window_seconds: float = 60.0
+    slow_window_seconds: float = 600.0
+    #: Burn multiple the fast window must exceed (SRE convention: 14.4
+    #: consumes a 30-day budget in ~2 days).
+    fast_burn: float = 14.4
+    #: Burn multiple the slow window must exceed.
+    slow_burn: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.fast_window_seconds <= 0 or self.slow_window_seconds <= 0:
+            raise TelemetryError("burn-rate windows must be positive")
+        if self.fast_window_seconds > self.slow_window_seconds:
+            raise TelemetryError(
+                f"fast window ({self.fast_window_seconds}s) must not exceed "
+                f"slow window ({self.slow_window_seconds}s)")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise TelemetryError("burn thresholds must be positive")
+
+
+class _SLOState:
+    """Per-SLO bucketed tallies and alert latch."""
+
+    __slots__ = ("slo", "buckets", "alerting", "alerts", "last_change")
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        # (second, good, bad) — appended in time order, pruned to the
+        # slow window.
+        self.buckets: deque[list[float]] = deque()
+        self.alerting = False
+        self.alerts = 0
+        self.last_change: float | None = None
+
+
+class SLOTracker:
+    """Multi-window multi-burn-rate evaluation over declared SLOs.
+
+    ``record(name, value)`` is cheap (bucket append + two gauge sets on
+    evaluation); call it inline on the serving path. ``evaluate()``
+    recomputes burn rates for every SLO and flips alert latches;
+    ``record`` evaluates the touched SLO automatically.
+    """
+
+    def __init__(self, slos: list[SLO] | tuple[SLO, ...] = (),
+                 config: BurnRateConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or BurnRateConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: dict[str, _SLOState] = {}
+        for slo in slos:
+            self.add(slo)
+
+    def add(self, slo: SLO) -> None:
+        """Register an SLO (replacing any previous one of the same name)."""
+        with self._lock:
+            self._states[slo.name] = _SLOState(slo)
+
+    def names(self) -> list[str]:
+        """Sorted names of the registered SLOs."""
+        with self._lock:
+            return sorted(self._states)
+
+    def record(self, name: str, value: float) -> bool:
+        """Fold one sample in; returns whether it was a bad event.
+
+        Unknown SLO names raise :class:`TelemetryError` — a misspelled
+        signal name silently recording nowhere would defeat alerting.
+        """
+        with self._lock:
+            state = self._states.get(name)
+            if state is None:
+                raise TelemetryError(f"unknown SLO {name!r}")
+            bad = float(value) > state.slo.threshold
+            now = self._clock()
+            second = float(int(now))
+            if state.buckets and state.buckets[-1][0] == second:
+                bucket = state.buckets[-1]
+            else:
+                bucket = [second, 0.0, 0.0]
+                state.buckets.append(bucket)
+            bucket[1 if not bad else 2] += 1.0
+            self._prune(state, now)
+            transition = self._evaluate_locked(state, now)
+        self._publish(name, transition)
+        return bad
+
+    def _prune(self, state: _SLOState, now: float) -> None:
+        horizon = now - self.config.slow_window_seconds - 1.0
+        while state.buckets and state.buckets[0][0] < horizon:
+            state.buckets.popleft()
+
+    @staticmethod
+    def _burn(state: _SLOState, now: float, window: float) -> float:
+        lo = now - window
+        good = bad = 0.0
+        for second, g, b in reversed(state.buckets):
+            if second < lo:
+                break
+            good += g
+            bad += b
+        total = good + bad
+        if not total:
+            return 0.0
+        return (bad / total) / state.slo.error_budget
+
+    def _evaluate_locked(self, state: _SLOState, now: float) -> dict | None:
+        fast = self._burn(state, now, self.config.fast_window_seconds)
+        slow = self._burn(state, now, self.config.slow_window_seconds)
+        transition: str | None = None
+        if not state.alerting:
+            if fast >= self.config.fast_burn and slow >= self.config.slow_burn:
+                state.alerting = True
+                state.alerts += 1
+                state.last_change = now
+                transition = "burn_alert"
+        else:
+            # Clear on the fast window alone: once recent traffic is
+            # healthy the page should stop, even while the slow window
+            # still remembers the incident.
+            if fast < self.config.fast_burn:
+                state.alerting = False
+                state.last_change = now
+                transition = "burn_alert_cleared"
+        return {"fast": fast, "slow": slow, "transition": transition,
+                "alerting": state.alerting}
+
+    def _publish(self, name: str, result: dict | None) -> None:
+        if result is None:
+            return
+        obs.set_gauge(f"slo.{name}.burn_fast", result["fast"],
+                      help="Fast-window error-budget burn rate")
+        obs.set_gauge(f"slo.{name}.burn_slow", result["slow"],
+                      help="Slow-window error-budget burn rate")
+        obs.set_gauge(f"slo.{name}.alert",
+                      1.0 if result["alerting"] else 0.0,
+                      help="Burn-rate alert state (0=ok, 1=alerting)")
+        if result["transition"] == "burn_alert":
+            obs.inc("slo.alerts_total", help="Burn-rate alerts fired")
+            obs.emit_event("slo", "burn_alert", slo=name,
+                           burn_fast=result["fast"], burn_slow=result["slow"])
+        elif result["transition"] == "burn_alert_cleared":
+            obs.emit_event("slo", "burn_alert_cleared", slo=name,
+                           burn_fast=result["fast"], burn_slow=result["slow"])
+
+    def evaluate(self, name: str | None = None) -> dict:
+        """Recompute burn rates (one SLO or all); returns the table.
+
+        Useful after a quiet period: with no new samples the fast
+        window may have drained, which should clear a latched alert.
+        """
+        table: dict[str, dict] = {}
+        with self._lock:
+            now = self._clock()
+            names = [name] if name is not None else sorted(self._states)
+            for n in names:
+                state = self._states.get(n)
+                if state is None:
+                    raise TelemetryError(f"unknown SLO {n!r}")
+                self._prune(state, now)
+                table[n] = self._evaluate_locked(state, now)
+        for n, result in table.items():
+            self._publish(n, result)
+        return table
+
+    def alerting(self) -> list[str]:
+        """Names of SLOs whose alert latch is currently set."""
+        with self._lock:
+            return sorted(n for n, s in self._states.items() if s.alerting)
+
+    def snapshot(self) -> dict:
+        """Point-in-time burn table for ``repro top`` and tests."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            now = self._clock()
+            for name, state in sorted(self._states.items()):
+                self._prune(state, now)
+                fast = self._burn(state, now, self.config.fast_window_seconds)
+                slow = self._burn(state, now, self.config.slow_window_seconds)
+                good = sum(b[1] for b in state.buckets)
+                bad = sum(b[2] for b in state.buckets)
+                out[name] = {
+                    "threshold": state.slo.threshold,
+                    "objective": state.slo.objective,
+                    "burn_fast": fast,
+                    "burn_slow": slow,
+                    "alerting": state.alerting,
+                    "alerts": state.alerts,
+                    "good": good,
+                    "bad": bad,
+                }
+        return out

@@ -1,0 +1,74 @@
+"""Chrome trace-event exporter for :class:`~repro.obs.tracing.Tracer`
+span trees.
+
+Converts the recursive ``Span.to_dict()`` shape into the Trace Event
+Format consumed by ``chrome://tracing`` and Perfetto: one ``"X"``
+(complete) event per finished span, timestamps and durations in
+microseconds. Each root span tree gets its own ``tid`` lane so
+concurrent requests render side by side instead of being fused into one
+bogus nesting; within a tree, children overlap their parent's interval
+and the viewer reconstructs the nesting from the timestamps.
+
+``repro metrics ARTIFACT --format trace > trace.json`` produces a file
+loadable directly in either viewer.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["chrome_trace_events", "chrome_trace", "chrome_trace_json"]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _span_events(span: dict, pid: int, tid: int,
+                 out: list[dict]) -> None:
+    start = span.get("start")
+    duration = span.get("duration")
+    if start is None or duration is None:
+        # Unfinished spans have no extent; skip them (and their
+        # children, whose timestamps would float without an anchor).
+        return
+    event = {
+        "name": span.get("name", "span"),
+        "ph": "X",
+        "ts": float(start) * _US,
+        "dur": float(duration) * _US,
+        "pid": pid,
+        "tid": tid,
+    }
+    annotations = span.get("annotations") or {}
+    if annotations:
+        event["args"] = {str(k): v for k, v in annotations.items()}
+    out.append(event)
+    for child in span.get("children") or []:
+        _span_events(child, pid, tid, out)
+
+
+def chrome_trace_events(spans: list[dict], pid: int = 0) -> list[dict]:
+    """Flatten root span dicts into a list of complete ("X") events.
+
+    ``spans`` is what :meth:`Span.to_dict` produces (and what a
+    :class:`~repro.obs.report.TelemetryReport` persists). Root ``i``
+    is assigned ``tid=i`` so separate requests occupy separate lanes.
+    """
+    events: list[dict] = []
+    for tid, root in enumerate(spans):
+        _span_events(root, pid, tid, events)
+    return events
+
+
+def chrome_trace(spans: list[dict], pid: int = 0) -> dict:
+    """The full trace document (``traceEvents`` + display hints)."""
+    return {
+        "traceEvents": chrome_trace_events(spans, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+
+
+def chrome_trace_json(spans: list[dict], pid: int = 0,
+                      indent: int | None = 2) -> str:
+    """The trace document serialized for ``chrome://tracing``."""
+    return json.dumps(chrome_trace(spans, pid=pid), indent=indent,
+                      sort_keys=True)

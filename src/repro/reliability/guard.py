@@ -53,7 +53,11 @@ from repro import obs
 from repro.baselines.gpsj import GPSJCostModel
 from repro.cluster.resources import ResourceProfile
 from repro.core.predictor import CostPredictor
+from repro.encoding.plan_encoder import plan_fingerprint
 from repro.errors import DeadlineExceeded, Overloaded, PredictionError
+from repro.obs.audit import AuditTrail
+from repro.obs.quality import DRIFT, AccuracyTracker
+from repro.obs.slo import SLOTracker
 from repro.plan.physical import PhysicalPlan
 from repro.reliability.admission import AdmissionController
 from repro.reliability.canary import AccuracyCanary
@@ -115,6 +119,9 @@ class GuardedPrediction:
     seconds: float
     source: str
     reason: str | None = None
+    #: Audit-trail handle for closing the feedback loop (present when
+    #: an :class:`~repro.obs.audit.AuditTrail` is configured).
+    request_id: str | None = None
 
     @property
     def degraded(self) -> bool:
@@ -134,6 +141,9 @@ class ExplainedPredictions:
     costs: np.ndarray
     source: str
     reason: str | None = None
+    #: Audit-trail handle for closing the feedback loop (present when
+    #: an :class:`~repro.obs.audit.AuditTrail` is configured).
+    request_id: str | None = None
 
 
 @dataclass
@@ -187,6 +197,25 @@ class GuardedCostPredictor:
         Optional :class:`AccuracyCanary` shadow-scoring degraded-tier
         answers against the f64 path; a drift breach trips the ladder
         back up.
+    quality:
+        Optional :class:`~repro.obs.quality.AccuracyTracker` fed
+        (prediction, observed runtime) pairs via
+        :meth:`record_observation`; its drift detector — when drifting
+        — trips the ladder to FALLBACK (the learned model itself is
+        wrong, so no precision tier helps).
+    audit:
+        Optional :class:`~repro.obs.audit.AuditTrail`; every served
+        request gets audit records (one per pair up to the trail's
+        per-request cap) and a ``request_id`` in its result for later
+        ground-truth attachment.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOTracker`; serving latency is
+        recorded to an SLO named ``latency`` and feedback q-errors to
+        one named ``qerror`` (either optional — absent names are
+        skipped).
+    workload:
+        Static workload-class label stamped onto audit records and
+        per-workload quality statistics.
     default_deadline_ms:
         When set, every predict call without an explicit deadline gets
         a fresh one with this budget.
@@ -207,6 +236,10 @@ class GuardedCostPredictor:
         admission: AdmissionController | None = None,
         ladder: DegradationLadder | None = None,
         canary: AccuracyCanary | None = None,
+        quality: AccuracyTracker | None = None,
+        audit: AuditTrail | None = None,
+        slo: SLOTracker | None = None,
+        workload: str | None = None,
         default_deadline_ms: float | None = None,
         shed_mode: str = "fallback",
         clock: Callable[[], float] = time.monotonic,
@@ -230,6 +263,10 @@ class GuardedCostPredictor:
         self.admission = admission
         self.ladder = ladder
         self.canary = canary
+        self.quality = quality
+        self.audit = audit
+        self.slo = slo
+        self.workload = workload
         self.default_deadline_ms = default_deadline_ms
         self.shed_mode = shed_mode
         self._clock = clock
@@ -290,6 +327,7 @@ class GuardedCostPredictor:
             seconds=float(explained.costs[0]),
             source=explained.source,
             reason=explained.reason,
+            request_id=explained.request_id,
         )
 
     def predict_many(self, pairs: list[tuple[PhysicalPlan, ResourceProfile]],
@@ -366,6 +404,12 @@ class GuardedCostPredictor:
             state["admission"] = self.admission.snapshot()
         if self.canary is not None:
             state["canary"] = self.canary.snapshot()
+        if self.quality is not None:
+            state["quality"] = self.quality.snapshot()
+        if self.audit is not None:
+            state["audit"] = self.audit.snapshot()
+        if self.slo is not None:
+            state["slo"] = self.slo.snapshot()
         return state
 
     # -- the chain ---------------------------------------------------------
@@ -391,6 +435,7 @@ class GuardedCostPredictor:
         if deadline is None and self.default_deadline_ms is not None:
             deadline = Deadline.from_ms(self.default_deadline_ms,
                                         clock=self._clock)
+        started = self._clock()
         with obs.span("guarded_predict", pairs=len(pairs)) as sp:
             obs.inc("guard.requests_total", help="Guarded prediction requests")
             reasons: list[str] = []
@@ -475,9 +520,13 @@ class GuardedCostPredictor:
                             help="Requests served by a fallback stage")
                     obs.emit_event("guard", "fallback", source=stage,
                                    reason="; ".join(reasons) or None)
+                reason = "; ".join(reasons) or None
+                request_id = self._record_served(
+                    pairs, costs, stage=stage, tier=tier, reason=reason,
+                    latency=self._clock() - started)
                 return ExplainedPredictions(
-                    costs=costs, source=stage,
-                    reason="; ".join(reasons) or None,
+                    costs=costs, source=stage, reason=reason,
+                    request_id=request_id,
                 )
             obs.inc("guard.exhausted_total",
                     help="Requests for which every stage failed")
@@ -485,6 +534,88 @@ class GuardedCostPredictor:
                            reason="; ".join(reasons))
             raise PredictionError(
                 "all fallback stages failed: " + "; ".join(reasons))
+
+    # -- the feedback loop -------------------------------------------------
+    def _record_served(self, pairs, costs: np.ndarray, stage: str,
+                       tier: str | None, reason: str | None,
+                       latency: float) -> str | None:
+        """Audit the served answers and feed the latency SLO (best effort)."""
+        obs.observe("guard.latency_seconds", latency,
+                    help="End-to-end guarded request latency")
+        if self.slo is not None and "latency" in self.slo.names():
+            self.slo.record("latency", latency)
+        if self.audit is None:
+            return None
+        request_id = self.audit.next_request_id()
+        if stage == "raal":
+            served_tier = tier or self.predictor.config.precision
+        else:
+            served_tier = None
+        for i, (plan, resources) in enumerate(pairs):
+            try:
+                fingerprint = plan_fingerprint(plan)
+                nodes = int(plan.num_nodes)
+            except Exception:
+                fingerprint, nodes = None, None
+            record = self.audit.record(
+                request_id, index=i,
+                plan_fingerprint=fingerprint, plan_nodes=nodes,
+                resources={
+                    "executors": resources.executors,
+                    "executor_cores": resources.executor_cores,
+                    "executor_memory_gb": resources.executor_memory_gb,
+                },
+                tier=served_tier, source=stage, latency_seconds=latency,
+                prediction_seconds=float(costs[i]),
+                workload=self.workload, reason=reason)
+            if record is None:
+                break  # per-request cap reached; the trail counted it
+        return request_id
+
+    def record_observation(self, request_id: str, observed_seconds: float,
+                           index: int = 0) -> float | None:
+        """Close the loop: attach an observed runtime to a served answer.
+
+        Looks the prediction up in the audit trail by ``(request_id,
+        index)``, records the ground truth there, feeds the q-error to
+        the quality tracker (learned-stage answers only — the tracker
+        measures the model, not the analytic fallbacks) and the
+        ``qerror`` SLO (every served answer — users experience fallback
+        inaccuracy too), and couples a drifting detector into the
+        ladder. Returns the sample's q-error, or ``None`` when the
+        record is unknown/evicted or ground truth is unusable.
+        """
+        if self.audit is None:
+            raise PredictionError(
+                "record_observation requires an AuditTrail (pass audit=... "
+                "to GuardedCostPredictor)")
+        record = self.audit.observe(request_id, observed_seconds, index=index)
+        if record is None or record.q_error is None:
+            return None
+        if self.quality is not None and record.source == "raal":
+            self.quality.record(record.prediction_seconds, observed_seconds,
+                                tier=record.tier, workload=record.workload)
+            self._couple_drift()
+        if self.slo is not None and "qerror" in self.slo.names():
+            self.slo.record("qerror", record.q_error)
+        return record.q_error
+
+    def _couple_drift(self) -> None:
+        """Drifting accuracy drops the ladder to its analytic fallback.
+
+        Called after every quality-tracked feedback sample: while the
+        detector reports drift, the learned model's answers are not
+        trusted at *any* precision tier, so the ladder is (re-)tripped
+        to FALLBACK. The ladder's dwell probe still climbs back
+        periodically; if the feedback stream keeps drifting the next
+        sample trips it again, and once the detector recovers the probe
+        sticks.
+        """
+        if self.quality is None or self.ladder is None:
+            return
+        detector = self.quality.drift
+        if detector is not None and detector.state == DRIFT:
+            self.ladder.trip_drift(detector.last_reason or "accuracy drift")
 
     # -- stages ------------------------------------------------------------
     def _run_stage(self, stage: str, pairs, fast: bool) -> np.ndarray:

@@ -169,6 +169,27 @@ class DegradationLadder:
                     help="Canary-driven precision promotions")
             self._transition(self._rung - 1, f"accuracy trip: {reason}")
 
+    def trip_drift(self, reason: str) -> None:
+        """Model-wide accuracy drift: drop to FALLBACK (analytic serve).
+
+        Unlike :meth:`trip_accuracy` — which blames the *degraded tier*
+        and promotes back toward f64 — a drift trip means the learned
+        model itself has stopped matching reality, so no precision tier
+        is trustworthy and the chain should serve its analytic
+        fallback. The rung is not pinned: the regular FALLBACK
+        auto-probe climbs back after ``hold_seconds``, and as long as
+        the feedback stream keeps reporting drift the guard re-trips,
+        producing a probe/re-trip cycle until the model is fixed or
+        retrained.
+        """
+        with self._lock:
+            bottom = len(LADDER_STATES) - 1
+            if self._rung == bottom:
+                return
+            obs.inc("ladder.drift_trips_total",
+                    help="Drift-detector-driven drops to fallback")
+            self._transition(bottom, f"drift trip: {reason}")
+
     def on_breaker_transition(self, old: str, new: str) -> None:
         """Couple the RAAL breaker's state into the ladder.
 

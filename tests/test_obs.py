@@ -147,11 +147,28 @@ class TestHistogram:
 
     def test_quantile_errors(self):
         h = Histogram("q", buckets=(1.0,))
-        with pytest.raises(TelemetryError):
-            h.quantile(0.5)       # no samples
+        # Empty histogram: a well-defined NaN, not an exception — the
+        # caller shouldn't have to pre-check count() to render a report.
+        assert math.isnan(h.quantile(0.5))
         h.observe(0.5)
-        with pytest.raises(TelemetryError):
-            h.quantile(1.5)       # out of [0, 1]
+        for bad_q in (-0.1, 1.5, math.inf):
+            with pytest.raises(ValueError):
+                h.quantile(bad_q)
+
+    def test_quantile_from_snapshot_matches_live(self):
+        from repro.obs import quantile_from_snapshot
+
+        h = Histogram("q", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.02, 0.05, 0.5, 0.7):
+            h.observe(v)
+        snap = h.snapshot()
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert quantile_from_snapshot(snap, q) == h.quantile(q)
+        assert math.isnan(
+            quantile_from_snapshot(Histogram("e", buckets=(1.0,)).snapshot(),
+                                   0.5))
+        with pytest.raises(ValueError):
+            quantile_from_snapshot(snap, 2.0)
 
     def test_quantile_matches_exact_on_fine_buckets(self):
         import numpy as np
@@ -218,6 +235,29 @@ class TestRegistry:
             'train_best_epoch 4\n'
         )
         assert reg.to_prometheus() == expected
+
+    def test_prometheus_counter_total_suffix(self):
+        # Counters are rendered under the conventional _total suffix;
+        # names that already carry it are not doubled.
+        reg = MetricsRegistry()
+        reg.counter("encoder.cache.hits").inc(7)
+        reg.counter("guard.requests_total").inc(2)
+        text = reg.to_prometheus()
+        assert "encoder_cache_hits_total 7" in text
+        assert "# TYPE encoder_cache_hits_total counter" in text
+        assert "guard_requests_total 2" in text
+        assert "guard_requests_total_total" not in text
+
+    def test_prometheus_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("weird_total",
+                    help="line one\nline two with back\\slash").inc()
+        text = reg.to_prometheus()
+        assert ("# HELP weird_total line one\\nline two with back\\\\slash"
+                in text)
+        # Still one line per HELP entry — the raw newline never leaks.
+        assert all(line.startswith(("#", "weird_total"))
+                   for line in text.strip().splitlines())
 
     def test_prometheus_from_persisted_snapshot(self):
         reg = MetricsRegistry()
