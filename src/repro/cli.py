@@ -32,6 +32,16 @@ Commands
     (``--last N``), one request (``--request ID``), as a table or JSONL
     (``--json``). Reads either a dedicated audit dump or a full
     telemetry event stream.
+``serve``
+    Run the HTTP prediction service: load one or more checkpoints and
+    serve predict/predict-grid/feedback plus health, metrics, and the
+    hot-swap admin endpoints. See ``docs/OPERATIONS.md`` and
+    ``docs/API.md``.
+``deploy``
+    Operate a running ``repro serve`` instance over HTTP: stage a
+    candidate checkpoint for shadow scoring (default), force-promote
+    it (``--promote``), or roll back to the previous incumbent
+    (``--rollback``).
 
 ``experiment``, ``train``, and ``predict`` accept ``--emit-telemetry
 PATH``: the run executes under an attached telemetry bundle, streaming
@@ -144,6 +154,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="show only records of this request id")
     audit.add_argument("--json", action="store_true",
                        help="emit records as JSONL instead of a table")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP prediction service")
+    serve.add_argument(
+        "--model", action="append", default=[], metavar="[ID=]DIR",
+        help="checkpoint directory to serve, optionally prefixed with a "
+             "model id (default id: 'default'); repeat for multi-tenant "
+             "serving")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
+    serve.add_argument("--catalog-scale", type=float, default=0.15)
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batching window; concurrent requests arriving within "
+             "it fuse into one forward (0 disables batching)")
+    serve.add_argument(
+        "--max-batch-pairs", type=int, default=64,
+        help="close a batching window early at this many fused "
+             "(plan, resources) pairs")
+    serve.add_argument(
+        "--precision", default="f64", choices=list(PRECISIONS),
+        help="inference precision tier for all served models")
+    serve.add_argument(
+        "--threads", type=int, default=1,
+        help="bucket-parallel inference threads (0 = one per CPU core)")
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request latency budget when the request body "
+             "carries no deadline_ms")
+    serve.add_argument(
+        "--shed-mode", default="fallback", choices=["fallback", "reject"],
+        help="overload behaviour: serve the analytic fallback (default) "
+             "or reject with 429/504")
+    serve.add_argument("--max-in-flight", type=int, default=4,
+                       help="learned-stage admission: concurrent requests")
+    serve.add_argument("--max-queue-depth", type=int, default=8,
+                       help="learned-stage admission: queued requests")
+    serve.add_argument("--plan-cache-size", type=int, default=256,
+                       help="candidate-plan LRU entries (distinct SQL)")
+
+    deploy = sub.add_parser(
+        "deploy", help="hot-swap models on a running serve instance")
+    deploy.add_argument("checkpoint", nargs="?", default=None,
+                        help="candidate checkpoint directory (not needed "
+                             "with --promote/--rollback)")
+    deploy.add_argument("--server", default="http://127.0.0.1:8000",
+                        help="base URL of the running repro serve")
+    deploy.add_argument("--model", default="default", help="target model id")
+    deploy.add_argument(
+        "--shadow-requests", type=int, default=32,
+        help="live fused batches the candidate must shadow-score before "
+             "the promotion gate is evaluated")
+    deploy.add_argument(
+        "--max-qerror", type=float, default=1.5,
+        help="promotion gate: max mean candidate-vs-incumbent q-error")
+    deploy.add_argument("--no-auto-promote", action="store_true",
+                        help="stage and shadow only; promote manually with "
+                             "--promote")
+    deploy.add_argument("--promote", action="store_true",
+                        help="force-promote the shadowing candidate now")
+    deploy.add_argument("--rollback", action="store_true",
+                        help="swap the previous incumbent back in")
 
     workload = sub.add_parser("workload", help="generate a random workload")
     workload.add_argument("--dataset", default="imdb", choices=["imdb", "tpch"])
@@ -305,10 +379,115 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
           f"breakers={health['breakers']} "
           f"shed={admission.get('shed_queue_full', 0) + admission.get('shed_wait_timeout', 0)}")
     if explained.source != "raal" or health["ladder"] != "healthy":
-        print(f"health self-check FAILED: served from '{explained.source}' "
-              f"({explained.reason})")
+        # Name the rung: OPERATIONS.md's triage table keys off it.
+        print(f"health self-check FAILED: ladder rung '{health['ladder']}', "
+              f"served from '{explained.source}' ({explained.reason})")
         return 1
-    print("health self-check OK (served by the learned stage, ladder healthy)")
+    print(f"health self-check OK (served by the learned stage, "
+          f"ladder rung '{health['ladder']}')")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import PredictionService, ServingConfig
+    from repro.serving import serve as http_serve
+
+    if not args.model:
+        print("error: at least one --model [ID=]DIR is required",
+              file=sys.stderr)
+        return 2
+    config = ServingConfig(
+        dataset=args.dataset, catalog_scale=args.catalog_scale,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_pairs=args.max_batch_pairs,
+        precision=args.precision, threads=args.threads,
+        default_deadline_ms=args.deadline_ms, shed_mode=args.shed_mode,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.max_queue_depth,
+        plan_cache_size=args.plan_cache_size)
+    service = PredictionService(config)
+    for spec in args.model:
+        model_id, _, directory = spec.rpartition("=")
+        model_id = model_id or "default"
+        version = service.load_model(directory, model_id=model_id)
+        print(f"serving model {model_id!r} version {version} "
+              f"from {directory}")
+    server = http_serve(service, host=args.host, port=args.port,
+                        background=True)
+    mode = (f"micro-batching window={config.batch_window_ms}ms "
+            f"max_pairs={config.max_batch_pairs}"
+            if config.batch_window_ms > 0 else "per-request dispatch")
+    print(f"repro serve listening on http://{args.host}:{server.port} "
+          f"({mode}, shed_mode={config.shed_mode})", flush=True)
+    try:
+        while True:
+            server._thread.join(1.0)
+    except KeyboardInterrupt:
+        print("shutting down ...")
+    finally:
+        server.close()
+    return 0
+
+
+def _http_json(url: str, body: dict) -> tuple[int, dict]:
+    """POST JSON, returning (status, parsed body) without raising."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url, data=_json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return response.status, _json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = _json.loads(exc.read())
+        except ValueError:
+            payload = {"error": str(exc)}
+        return exc.code, payload
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach serve instance at {url}: {exc}") from exc
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    base = args.server.rstrip("/")
+    if args.promote:
+        status, body = _http_json(f"{base}/admin/promote",
+                                  {"model": args.model, "force": True})
+    elif args.rollback:
+        status, body = _http_json(f"{base}/admin/rollback",
+                                  {"model": args.model})
+    else:
+        if not args.checkpoint:
+            print("error: a checkpoint directory is required unless "
+                  "--promote or --rollback is given", file=sys.stderr)
+            return 2
+        import os as _os
+
+        status, body = _http_json(f"{base}/admin/deploy", {
+            "model": args.model,
+            "checkpoint": _os.path.abspath(args.checkpoint),
+            "shadow_requests": args.shadow_requests,
+            "max_qerror": args.max_qerror,
+            "auto_promote": not args.no_auto_promote,
+        })
+    if status != 200:
+        print(f"error ({status} {body.get('type', '?')}): "
+              f"{body.get('error', body)}", file=sys.stderr)
+        return 1
+    state = body.get("state", "?")
+    version = body.get("version", "?")
+    print(f"model {args.model!r}: {state} (version {version})")
+    if state == "shadowing":
+        print(f"  candidate shadows live traffic; gate: mean q-error vs "
+              f"incumbent <= {args.max_qerror} over "
+              f">= {args.shadow_requests} batches")
+        if args.no_auto_promote:
+            print("  promote manually: repro deploy --promote "
+                  f"--model {args.model} --server {base}")
     return 0
 
 
@@ -489,6 +668,8 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "top": _cmd_top,
     "audit": _cmd_audit,
+    "serve": _cmd_serve,
+    "deploy": _cmd_deploy,
     "workload": _cmd_workload,
 }
 

@@ -44,6 +44,7 @@ __all__ = [
     "save_predictor",
     "load_predictor",
     "verify_checkpoint",
+    "checkpoint_fingerprint",
     "CheckpointReport",
     "CHECKPOINT_SCHEMA_VERSION",
 ]
@@ -206,6 +207,23 @@ def verify_checkpoint(directory: str | os.PathLike) -> CheckpointReport:
         if _sha256(file_path) != expected_sha:
             report.corrupt.append(name)
     return report
+
+
+def checkpoint_fingerprint(directory: str | os.PathLike) -> str:
+    """SHA-256 identity of a checkpoint (hash of its manifest).
+
+    The manifest already pins every artifact's digest, so hashing the
+    manifest alone identifies the whole checkpoint's content. The
+    serving layer embeds a prefix of this in model version strings
+    (``g3-1f2e3d4c5b6a``) so provenance in responses and audit records
+    maps back to exact bytes on disk. Raises
+    :class:`~repro.errors.CheckpointError` when there is no manifest.
+    """
+    manifest_path = pathlib.Path(directory) / _MANIFEST_FILE
+    if not manifest_path.exists():
+        raise CheckpointError(
+            f"cannot fingerprint {directory}: no {_MANIFEST_FILE}")
+    return _sha256(manifest_path)
 
 
 def load_predictor(directory: str | os.PathLike,

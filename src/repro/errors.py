@@ -92,6 +92,26 @@ class Overloaded(PredictionError):
     """
 
 
+class ServingError(ReproError):
+    """Raised for malformed serving requests (HTTP layer maps to 400).
+
+    Anything the *client* got wrong — missing fields, bad types,
+    unknown resource keys — as opposed to :class:`PredictionError`
+    subclasses, which report server-side prediction failures.
+    """
+
+
+class ModelNotFound(ServingError):
+    """Raised for requests naming a model id the registry has never
+    seen (HTTP layer maps to 404)."""
+
+
+class DeployConflict(ServingError):
+    """Raised when a deploy/promote/rollback conflicts with the
+    shard's swap state — e.g. a second candidate while one is already
+    shadowing, or a promote with nothing staged (HTTP maps to 409)."""
+
+
 class DatasetError(ReproError):
     """Raised for invalid dataset manipulations (e.g. empty split)."""
 

@@ -358,6 +358,7 @@ class GuardedCostPredictor:
             costs=explained.costs.reshape(len(profiles), len(plans)),
             source=explained.source,
             reason=explained.reason,
+            request_id=explained.request_id,
         )
 
     def degradation_counts(self) -> dict[str, int]:

@@ -1,0 +1,42 @@
+"""Serving layer: `repro serve` — a concurrent, hot-swappable service.
+
+The package turns the in-process :class:`~repro.reliability.guard.
+GuardedCostPredictor` into a network service without adding any
+dependency beyond the stdlib:
+
+* :mod:`repro.serving.batcher` — micro-batching request queue that
+  fuses concurrent predictions into one forward;
+* :mod:`repro.serving.registry` — per-model shards, versioning, and
+  the shadow-score → promote hot-swap machinery;
+* :mod:`repro.serving.service` — the transport-agnostic endpoint
+  logic (dict in → dict out);
+* :mod:`repro.serving.http` — the stdlib HTTP front-end and the
+  declarative route table the docs lint checks against.
+
+See ``docs/API.md`` for the HTTP surface and ``docs/OPERATIONS.md``
+for how to run it.
+"""
+
+from repro.serving.batcher import BatchItem, MicroBatcher
+from repro.serving.http import ROUTES, ReproHTTPServer, Route, serve
+from repro.serving.registry import (CandidateState, ModelRegistry, ModelShard,
+                                    ServingModel, default_guard_builder)
+from repro.serving.service import (DEFAULT_MODEL_ID, PredictionService,
+                                   ServingConfig)
+
+__all__ = [
+    "BatchItem",
+    "MicroBatcher",
+    "ROUTES",
+    "Route",
+    "ReproHTTPServer",
+    "serve",
+    "CandidateState",
+    "ModelRegistry",
+    "ModelShard",
+    "ServingModel",
+    "default_guard_builder",
+    "DEFAULT_MODEL_ID",
+    "PredictionService",
+    "ServingConfig",
+]

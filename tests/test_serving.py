@@ -1,0 +1,520 @@
+"""Tests for the serving layer: micro-batching, model shards and hot
+swap, the JSON service endpoints, the stdlib HTTP front-end, and the
+concurrent-clients-during-hot-swap integration contract (zero errors,
+only old-or-new provenance, never a torn state).
+
+The micro-batcher tests run against a fake ``execute`` with generous
+windows so they are deterministic on loaded CI machines; the service
+and hot-swap tests share one small trained model via module-scoped
+fixtures (the same SMOKE pipeline the overload tests use).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import CostPredictor
+from repro.core.persistence import (checkpoint_fingerprint, save_predictor)
+from repro.errors import (CheckpointError, DeadlineExceeded, DeployConflict,
+                          ModelNotFound, PredictionError, ReproError,
+                          ServingError)
+from repro.eval.experiments import SMOKE, ExperimentPipeline
+from repro.reliability import Deadline
+from repro.serving import (MicroBatcher, PredictionService, ROUTES,
+                           ServingConfig, serve)
+
+
+# -- shared fixtures -------------------------------------------------------
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(dataset="imdb", scale=SMOKE)
+
+
+@pytest.fixture(scope="module")
+def trained(pipeline):
+    return pipeline.train_variant("RAAL", epochs=3)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(trained, tmp_path_factory):
+    predictor = CostPredictor(trained.encoder, trained.trainer)
+    path = tmp_path_factory.mktemp("serving") / "ckpt"
+    save_predictor(predictor, path)
+    return str(path)
+
+
+@pytest.fixture()
+def service(pipeline, checkpoint):
+    svc = PredictionService(
+        ServingConfig(batch_window_ms=2.0, default_deadline_ms=2000.0),
+        catalog=pipeline.catalog)
+    svc.load_model(checkpoint)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def sql(pipeline):
+    return pipeline.queries[0]
+
+
+# -- micro-batcher ---------------------------------------------------------
+class FakeResult:
+    def __init__(self, costs):
+        self.costs = np.asarray(costs)
+
+
+class TestMicroBatcher:
+    def _echo_execute(self, calls):
+        def execute(pairs, deadline):
+            calls.append((list(pairs), deadline))
+            return FakeResult(np.arange(len(pairs), dtype=float))
+        return execute
+
+    def test_concurrent_submissions_fuse_into_one_batch(self):
+        calls = []
+        batcher = MicroBatcher(self._echo_execute(calls), window_ms=150.0,
+                               max_pairs=64)
+        barrier = threading.Barrier(4)
+        items = [None] * 4
+
+        def client(i):
+            barrier.wait()
+            items[i] = batcher.submit([("plan", f"prof{i}")])
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.close()
+        # All four requests landed in one window → one fused execute.
+        assert len(calls) == 1
+        assert len(calls[0][0]) == 4
+        offsets = sorted(item.offset for item in items)
+        assert offsets == [0, 1, 2, 3]
+        for item in items:
+            assert item.batch_size == 4
+            # Each caller's slice is its own pair's score.
+            assert item.result.costs[item.offset] == float(item.offset)
+
+    def test_window_zero_dispatches_inline(self):
+        calls = []
+        batcher = MicroBatcher(self._echo_execute(calls), window_ms=0.0)
+        assert not batcher.enabled
+        item = batcher.submit([("p", "r"), ("p2", "r")])
+        assert len(calls) == 1
+        assert item.offset == 0 and item.batch_size == 2
+        assert batcher.snapshot()["batches"] == 1
+        batcher.close()
+
+    def test_max_pairs_closes_window_early(self):
+        calls = []
+        # A window long enough that only the max_pairs bound can close
+        # it within the test's runtime.
+        batcher = MicroBatcher(self._echo_execute(calls), window_ms=30_000.0,
+                               max_pairs=2)
+        done = []
+
+        def client():
+            done.append(batcher.submit([("p", "r")]))
+
+        threads = [threading.Thread(target=client) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(done) == 2
+        assert len(calls) == 1 and len(calls[0][0]) == 2
+        batcher.close()
+
+    def test_expired_deadline_fails_fast_without_queueing(self):
+        calls = []
+        batcher = MicroBatcher(self._echo_execute(calls), window_ms=50.0)
+        deadline = Deadline.from_ms(0.001)
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceeded):
+            batcher.submit([("p", "r")], deadline=deadline)
+        assert calls == []  # never reached execute
+        batcher.close()
+
+    def test_batch_runs_under_tightest_member_deadline(self):
+        calls = []
+        batcher = MicroBatcher(self._echo_execute(calls), window_ms=200.0,
+                               max_pairs=2)
+        tight = Deadline.from_ms(60_000.0)
+        loose = Deadline.from_ms(120_000.0)
+        results = []
+
+        def client(deadline):
+            results.append(batcher.submit([("p", "r")], deadline=deadline))
+
+        threads = [threading.Thread(target=client, args=(d,))
+                   for d in (loose, tight)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(calls) == 1
+        assert calls[0][1] is tight
+        batcher.close()
+
+    def test_execute_failure_scatters_to_all_members(self):
+        def explode(pairs, deadline):
+            raise PredictionError("boom")
+
+        batcher = MicroBatcher(explode, window_ms=100.0, max_pairs=2)
+        errors = []
+
+        def client():
+            try:
+                batcher.submit([("p", "r")])
+            except PredictionError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(errors) == 2
+        # The dispatcher survives a failed batch.
+        calls = []
+        batcher.execute = self._echo_execute(calls)
+        batcher.submit([("p", "r")])
+        assert len(calls) == 1
+        batcher.close()
+
+    def test_submit_after_close_runs_inline(self):
+        calls = []
+        batcher = MicroBatcher(self._echo_execute(calls), window_ms=50.0)
+        batcher.submit([("p", "r")])
+        batcher.close()
+        item = batcher.submit([("p", "r")])
+        assert item.batch_size == 1
+        assert len(calls) == 2
+
+    def test_empty_pairs_and_bad_config_raise(self):
+        batcher = MicroBatcher(lambda p, d: None, window_ms=0.0)
+        with pytest.raises(PredictionError):
+            batcher.submit([])
+        with pytest.raises(ReproError):
+            MicroBatcher(lambda p, d: None, window_ms=-1.0)
+        with pytest.raises(ReproError):
+            MicroBatcher(lambda p, d: None, max_pairs=0)
+
+
+# -- versioning ------------------------------------------------------------
+class TestVersioning:
+    def test_fingerprint_is_stable_and_content_bound(self, checkpoint,
+                                                     tmp_path):
+        first = checkpoint_fingerprint(checkpoint)
+        assert first == checkpoint_fingerprint(checkpoint)
+        assert len(first) == 64 and int(first, 16) >= 0
+        with pytest.raises(CheckpointError):
+            checkpoint_fingerprint(tmp_path / "nothing-here")
+
+    def test_versions_embed_generation_and_fingerprint(self, service,
+                                                       checkpoint):
+        shard = service.registry.shard("default")
+        version = shard.current.version
+        assert version.startswith("g1-")
+        assert version.endswith(checkpoint_fingerprint(checkpoint)[:12])
+
+
+# -- hot swap --------------------------------------------------------------
+class TestHotSwap:
+    def test_deploy_shadow_and_auto_promote(self, service, checkpoint, sql):
+        v1 = service.registry.shard("default").current.version
+        outcome = service.deploy({"checkpoint": checkpoint,
+                                  "shadow_requests": 2, "max_qerror": 10.0})
+        assert outcome["state"] == "shadowing"
+        assert outcome["version"].startswith("g2-")
+        for _ in range(3):
+            service.predict({"sql": sql})
+        shard = service.registry.shard("default")
+        assert shard.current.version == outcome["version"]
+        assert shard.candidate is None
+        assert shard._previous.version == v1
+        # And back again.
+        rolled = service.rollback({})
+        assert rolled["version"] == v1
+
+    def test_instant_promote_without_shadowing(self, service, checkpoint):
+        outcome = service.deploy({"checkpoint": checkpoint,
+                                  "shadow_requests": 0})
+        assert outcome["state"] == "promoted"
+
+    def test_conflicting_candidate_rejected(self, service, checkpoint):
+        service.deploy({"checkpoint": checkpoint, "shadow_requests": 50,
+                        "auto_promote": False})
+        with pytest.raises(DeployConflict):
+            service.deploy({"checkpoint": checkpoint, "shadow_requests": 1})
+
+    def test_gate_rejects_candidate_with_impossible_bar(self, service,
+                                                        checkpoint, sql):
+        # q-error is >= 1 by construction, so a bar below 1 can never
+        # pass: the candidate must be rejected, incumbent unchanged.
+        incumbent = service.registry.shard("default").current.version
+        service.deploy({"checkpoint": checkpoint, "shadow_requests": 1,
+                        "max_qerror": 0.5})
+        for _ in range(2):
+            service.predict({"sql": sql})
+        shard = service.registry.shard("default")
+        assert shard.current.version == incumbent
+        assert shard.candidate is None
+
+    def test_corrupt_checkpoint_refused(self, service, checkpoint, tmp_path):
+        import shutil
+
+        bad = tmp_path / "bad-ckpt"
+        shutil.copytree(checkpoint, bad)
+        (bad / "model.npz").write_bytes(b"not a model")
+        with pytest.raises(CheckpointError):
+            service.deploy({"checkpoint": str(bad)})
+
+    def test_rollback_without_previous_conflicts(self, pipeline, checkpoint):
+        svc = PredictionService(ServingConfig(), catalog=pipeline.catalog)
+        svc.load_model(checkpoint)
+        try:
+            with pytest.raises(DeployConflict):
+                svc.rollback({})
+        finally:
+            svc.close()
+
+    def test_unknown_model_not_found(self, service):
+        with pytest.raises(ModelNotFound):
+            service.predict({"sql": "select count(*) from title t",
+                             "model": "nope"})
+
+
+# -- service endpoints -----------------------------------------------------
+class TestService:
+    def test_predict_response_contract(self, service, sql):
+        body = service.predict({"sql": sql})
+        assert body["model"] == "default"
+        assert body["model_version"].startswith("g")
+        assert body["request_id"]
+        assert body["source"] in ("raal", "gpsj", "heuristic")
+        plan_names = [p["plan"] for p in body["plans"]]
+        assert body["chosen"] in plan_names
+        costs = [p["seconds"] for p in body["plans"]]
+        assert min(costs) == body["plans"][plan_names.index(
+            body["chosen"])]["seconds"]
+        assert all(c >= 0 for c in costs)
+
+    def test_feedback_closes_the_loop(self, service, sql):
+        body = service.predict({"sql": sql})
+        plan = body["plans"][0]
+        out = service.feedback({"request_id": body["request_id"],
+                                "observed_seconds": plan["seconds"] * 2.0,
+                                "index": plan["feedback_index"]})
+        assert out["recorded"]
+        assert out["q_error"] == pytest.approx(2.0)
+
+    def test_predict_grid_shape(self, service, sql):
+        body = service.predict_grid({
+            "sql": sql,
+            "profiles": [{}, {"executors": 4, "memory_gb": 8}]})
+        assert body["profiles"] == 2
+        assert len(body["costs"]) == 2
+        assert len(body["costs"][0]) == len(body["plans"])
+        assert body["request_id"]
+
+    def test_plan_cache_reuses_candidate_plans(self, service, sql):
+        service.predict({"sql": sql})
+        before = len(service._plan_cache)
+        service.predict({"sql": "  " + sql + "  "})  # normalizes to same key
+        assert len(service._plan_cache) == before
+
+    def test_malformed_bodies_rejected(self, service, sql):
+        for bad in (
+            {},                                        # no sql
+            {"sql": 42},                               # wrong type
+            {"sql": sql, "resources": [1]},            # not an object
+            {"sql": sql, "resources": {"gpus": 8}},    # unknown key
+            {"sql": sql, "deadline_ms": -5},           # non-positive
+            {"sql": sql, "deadline_ms": "soon"},       # not a number
+            {"sql": sql, "model": ""},                 # empty model id
+        ):
+            with pytest.raises(ServingError):
+                service.predict(bad)
+        with pytest.raises(ServingError):
+            service.predict_grid({"sql": sql, "profiles": []})
+        with pytest.raises(ServingError):
+            service.feedback({"request_id": "", "observed_seconds": 1.0})
+        with pytest.raises(ServingError):
+            service.feedback({"request_id": "req-1",
+                              "observed_seconds": "fast"})
+        with pytest.raises(ServingError):
+            service.deploy({})
+
+    def test_health_and_models_snapshots(self, service, sql):
+        service.predict({"sql": sql})
+        health = service.health()
+        assert health["status"] == "ok"
+        model = health["models"]["default"]
+        assert model["ladder"] == "healthy"
+        assert model["batcher"]["enabled"]
+        models = service.models()
+        assert models["models"]["default"]["version"].startswith("g")
+        metrics = service.metrics_text()
+        assert "serve_predict_requests_total" in metrics
+
+
+# -- HTTP front-end --------------------------------------------------------
+def _post(base, path, body):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30.0) as response:
+            raw = response.read()
+            if "json" in (response.headers.get("Content-Type") or ""):
+                return response.status, json.loads(raw)
+            return response.status, raw.decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture()
+def server(pipeline, checkpoint):
+    svc = PredictionService(ServingConfig(batch_window_ms=2.0),
+                            catalog=pipeline.catalog)
+    svc.load_model(checkpoint)
+    srv = serve(svc, port=0, background=True)
+    yield f"http://127.0.0.1:{srv.port}"
+    srv.close()
+
+
+class TestHTTP:
+    def test_predict_and_feedback_over_http(self, server, sql):
+        status, body = _post(server, "/v1/predict", {"sql": sql})
+        assert status == 200
+        assert body["model_version"].startswith("g1-")
+        status, out = _post(server, "/v1/feedback", {
+            "request_id": body["request_id"],
+            "observed_seconds": body["plans"][0]["seconds"],
+            "index": body["plans"][0]["feedback_index"]})
+        assert status == 200 and out["recorded"]
+
+    def test_error_statuses_match_docs(self, server, sql):
+        assert _post(server, "/v1/predict", {})[0] == 400
+        assert _post(server, "/v1/predict",
+                     {"sql": "SELEC broken FRM"})[0] == 400
+        assert _post(server, "/v1/predict",
+                     {"sql": sql, "model": "ghost"})[0] == 404
+        assert _get(server, "/no/such/path")[0] == 404
+        assert _get(server, "/v1/predict")[0] == 405
+        assert _post(server, "/admin/promote", {})[0] == 409
+        assert _post(server, "/admin/rollback", {})[0] == 409
+        # Raw non-JSON body.
+        request = urllib.request.Request(
+            server + "/v1/predict", data=b"not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert excinfo.value.code == 400
+
+    def test_health_metrics_and_models(self, server, sql):
+        _post(server, "/v1/predict", {"sql": sql})
+        status, health = _get(server, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, metrics = _get(server, "/metrics")
+        assert status == 200
+        assert "serve_predict_requests_total" in metrics
+        status, models = _get(server, "/v1/models")
+        assert status == 200 and "default" in models["models"]
+
+    def test_every_route_is_reachable(self, server, checkpoint, sql):
+        """Each declared route answers with a documented status (not
+        404/500): the routing table and handlers stay in sync."""
+        bodies = {
+            "/v1/predict": {"sql": sql},
+            "/v1/predict_grid": {"sql": sql, "profiles": [{}]},
+            "/v1/feedback": {"request_id": "req-unknown",
+                             "observed_seconds": 1.0},
+            "/admin/deploy": {"checkpoint": checkpoint,
+                              "shadow_requests": 0},
+            "/admin/promote": {},
+            "/admin/rollback": {},
+        }
+        for route in ROUTES:
+            if route.method == "GET":
+                status, _ = _get(server, route.path)
+            else:
+                status, _ = _post(server, route.path, bodies[route.path])
+            assert status in (200, 409), (route.path, status)
+
+
+# -- the integration contract: concurrent clients during a hot swap --------
+class TestConcurrentHotSwap:
+    def test_zero_errors_and_no_torn_state_mid_swap(self, pipeline,
+                                                    checkpoint, sql):
+        """N client threads hammer predict while a deploy + shadow +
+        promote runs; every response must succeed and carry exactly one
+        of the two legitimate versions."""
+        svc = PredictionService(
+            ServingConfig(batch_window_ms=1.0, default_deadline_ms=5000.0),
+            catalog=pipeline.catalog)
+        v1 = svc.load_model(checkpoint)
+        errors: list = []
+        versions: set = set()
+        stop = threading.Event()
+
+        def client():
+            while not stop.is_set():
+                try:
+                    body = svc.predict({"sql": sql})
+                except Exception as exc:  # any error fails the contract
+                    errors.append(exc)
+                    return
+                version = body["model_version"]
+                if not version:
+                    errors.append(AssertionError("torn/missing version"))
+                    return
+                versions.add(version)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.3)  # traffic flowing on the incumbent
+            outcome = svc.deploy({"checkpoint": checkpoint,
+                                  "shadow_requests": 2,
+                                  "max_qerror": 100.0})
+            v2 = outcome["version"]
+            # Shadowing promotes from live traffic; wait for the swap.
+            deadline = time.monotonic() + 30.0
+            shard = svc.registry.shard("default")
+            while (shard.current.version != v2
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert shard.current.version == v2, "promotion never landed"
+            time.sleep(0.3)  # traffic flowing on the new incumbent
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+            svc.close()
+
+        assert errors == []
+        assert versions <= {v1, v2}, f"unexpected provenance: {versions}"
+        assert versions == {v1, v2}, (
+            f"expected traffic on both sides of the swap, saw {versions}")
